@@ -1,0 +1,1 @@
+bench/ablations.ml: Bench_env Core Float Fpga Fun List Model Option Printf Rat Rng Sim Sim2d

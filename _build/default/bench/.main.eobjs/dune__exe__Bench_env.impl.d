@@ -1,0 +1,1 @@
+bench/bench_env.ml: Filename Model Printf String Sys

@@ -1,0 +1,1 @@
+bench/figures.ml: Bench_env Experiment List Model Printf Unix

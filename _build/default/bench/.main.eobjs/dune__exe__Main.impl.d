@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Figures Micro Tables

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Bench_env Benchmark Bignum Core Fpga Hashtbl Instance List Measure Model Printf Rng Sim Staged Test Time Toolkit

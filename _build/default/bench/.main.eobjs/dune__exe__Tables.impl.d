@@ -1,0 +1,1 @@
+bench/tables.ml: Bench_env Core Experiment Format List Model Printf Rat Rng String

@@ -1,0 +1,34 @@
+(* Environment knobs for the benchmark harness.
+
+   The paper averages >= 10000 tasksets per utilization point; that takes
+   hours with five methods per point, so the default here is a faithful
+   but smaller run.  Set REDF_SAMPLES=10000 to reproduce at paper scale. *)
+
+let int_env name default =
+  match Sys.getenv_opt name with
+  | Some v -> (match int_of_string_opt v with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let samples = int_env "REDF_SAMPLES" 300
+(* simulation horizon in time units; the paper simulates "to the
+   hyper-period", which is astronomically large for random periods, so
+   any practical run truncates (see EXPERIMENTS.md) *)
+let horizon_units = int_env "REDF_HORIZON" 500
+let seed = int_env "REDF_SEED" 42
+let skip_micro = Sys.getenv_opt "REDF_SKIP_MICRO" <> None
+
+let horizon = Model.Time.of_units horizon_units
+
+let results_dir = "results"
+
+let ensure_results_dir () =
+  if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+
+let write_file path contents =
+  ensure_results_dir ();
+  let oc = open_out (Filename.concat results_dir path) in
+  output_string oc contents;
+  close_out oc
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')

@@ -1,0 +1,22 @@
+(* Benchmark harness regenerating every table and figure of Guan et al.,
+   "Improved Schedulability Analysis of EDF Scheduling on Reconfigurable
+   Hardware Devices" (IPDPS 2007), plus the ablations and
+   micro-benchmarks documented in DESIGN.md / EXPERIMENTS.md.
+
+   Knobs (environment variables):
+     REDF_SAMPLES     tasksets per utilization point   (default 300)
+     REDF_HORIZON     simulation horizon in time units (default 500)
+     REDF_SEED        master PRNG seed                 (default 42)
+     REDF_SKIP_MICRO  skip the Bechamel micro-benchmarks
+
+   Paper scale is REDF_SAMPLES=10000; see EXPERIMENTS.md. *)
+
+let () =
+  print_endline "reconfig_edf benchmark harness";
+  print_endline "reproducing: Guan et al., IPDPS 2007 (EDF on PRTR FPGAs)";
+  Tables.run ();
+  Figures.run ();
+  Ablations.run ();
+  Micro.run ();
+  print_newline ();
+  print_endline "done; CSV series in ./results/, interpretation in EXPERIMENTS.md"

@@ -1,0 +1,100 @@
+(* Bechamel micro-benchmarks: one Test.make per analysis test and per
+   simulator configuration, across taskset sizes.  The N sweep makes the
+   O(N^3) complexity claim for GN2 (Section 5) observable. *)
+
+open Bechamel
+open Toolkit
+
+let fpga_area = 100
+
+let taskset_of_size n =
+  let rng = Rng.create ~seed:1234 in
+  let profile = Model.Generator.unconstrained ~n in
+  Model.Generator.draw rng profile
+
+let analysis_tests =
+  let sizes = [ 4; 10; 20; 40 ] in
+  List.concat_map
+    (fun n ->
+      let ts = taskset_of_size n in
+      [
+        Test.make ~name:(Printf.sprintf "DP/n=%d" n)
+          (Staged.stage (fun () -> ignore (Core.Dp.accepts ~fpga_area ts)));
+        Test.make ~name:(Printf.sprintf "GN1/n=%d" n)
+          (Staged.stage (fun () -> ignore (Core.Gn1.accepts ~fpga_area ts)));
+        Test.make ~name:(Printf.sprintf "GN2/n=%d" n)
+          (Staged.stage (fun () -> ignore (Core.Gn2.accepts ~fpga_area ts)));
+      ])
+    sizes
+
+let sim_tests =
+  let ts = taskset_of_size 10 in
+  let run policy placement =
+    let cfg = Sim.Engine.default_config ~fpga_area ~policy in
+    let cfg =
+      { cfg with Sim.Engine.horizon = Model.Time.of_units 100; Sim.Engine.placement = placement }
+    in
+    fun () -> ignore (Sim.Engine.run cfg ts)
+  in
+  [
+    Test.make ~name:"sim/EDF-NF/migrating" (Staged.stage (run Sim.Policy.edf_nf Sim.Engine.Migrating));
+    Test.make ~name:"sim/EDF-FkF/migrating"
+      (Staged.stage (run Sim.Policy.edf_fkf Sim.Engine.Migrating));
+    Test.make ~name:"sim/EDF-NF/first-fit"
+      (Staged.stage (run Sim.Policy.edf_nf (Sim.Engine.Contiguous Fpga.Device.First_fit)));
+  ]
+
+let substrate_tests =
+  let big = Bignum.pow (Bignum.of_int 7) 64 in
+  [
+    Test.make ~name:"bignum/mul-big" (Staged.stage (fun () -> ignore (Bignum.mul big big)));
+    Test.make ~name:"rat/table3-gn2"
+      (let ts =
+         Model.Taskset.of_list
+           [
+             Model.Task.of_decimal ~exec:"2.10" ~deadline:"5" ~period:"5" ~area:7 ();
+             Model.Task.of_decimal ~exec:"2.00" ~deadline:"7" ~period:"7" ~area:7 ();
+           ]
+       in
+       Staged.stage (fun () -> ignore (Core.Gn2.accepts ~fpga_area:10 ts)));
+    Test.make ~name:"generator/draw-n10"
+      (let rng = Rng.create ~seed:5 in
+       let profile = Model.Generator.unconstrained ~n:10 in
+       Staged.stage (fun () -> ignore (Model.Generator.draw rng profile)));
+  ]
+
+let benchmark tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"redf" tests) in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let pretty_time ns =
+  if ns >= 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+  else Printf.sprintf "%8.1f ns" ns
+
+let print_results results =
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> Printf.printf "  %-28s %s/run\n" name (pretty_time ns)
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    rows
+
+let run () =
+  Bench_env.section "Micro-benchmarks (Bechamel, monotonic clock, OLS)";
+  if Bench_env.skip_micro then
+    print_endline "skipped (REDF_SKIP_MICRO is set)"
+  else begin
+    Printf.printf "\nanalysis tests across taskset size (GN2 is the O(N^3) test):\n";
+    print_results (benchmark analysis_tests);
+    Printf.printf "\nsimulator (10 tasks, horizon 100 units):\n";
+    print_results (benchmark sim_tests);
+    Printf.printf "\nsubstrates:\n";
+    print_results (benchmark substrate_tests)
+  end

@@ -1,0 +1,344 @@
+(* redf — command-line front end for the reconfig_edf library.
+
+   Subcommands:
+     analyze   run DP / GN1 / GN2 (and friends) on a taskset CSV
+     simulate  simulate EDF-NF / EDF-FkF and optionally draw a Gantt chart
+     generate  emit a synthetic taskset CSV from a named profile
+     sweep     acceptance-ratio sweep for one of the paper's figures
+     tables    reproduce the paper's Tables 1-3 *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_taskset path =
+  try Ok (Model.Taskset.of_csv (read_file path)) with
+  | Sys_error msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+(* --- common args --- *)
+
+let taskset_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TASKSET.csv" ~doc:"Taskset file (header name,C,D,T,A).")
+
+let area_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "a"; "area" ] ~docv:"COLUMNS" ~doc:"FPGA area $(docv) (number of columns).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let horizon_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "horizon" ] ~docv:"UNITS" ~doc:"Simulation horizon in time units.")
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let run path fpga_area all =
+    match load_taskset path with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Ok ts ->
+      let tests =
+        if all then
+          [
+            Core.Dp.decide;
+            Core.Dp.decide_original;
+            Core.Gn1.decide;
+            Core.Gn1.decide_printed;
+            Core.Gn2.decide;
+          ]
+        else [ Core.Dp.decide; Core.Gn1.decide; Core.Gn2.decide ]
+      in
+      let report = Core.Report.run ~tests ~fpga_area ts in
+      Format.printf "%a@." Core.Report.pp report;
+      (match Core.Feasibility.check ~fpga_area ts with
+       | [] -> Format.printf "necessary conditions: all satisfied@."
+       | violations ->
+         Format.printf "INFEASIBLE under any scheduler:@.";
+         List.iter (Format.printf "  %a@." Core.Feasibility.pp_violation) violations);
+      let plan = Core.Partitioned.first_fit_decreasing ~fpga_area ts in
+      Format.printf "partitioned, density test (first-fit decreasing): %s@,%a@."
+        (if Core.Partitioned.schedulable plan then "ACCEPT" else "REJECT")
+        Core.Partitioned.pp plan;
+      Format.printf "partitioned, exact demand-bound test: %s@."
+        (if Core.Partitioned.accepts ~test:Core.Partitioned.Demand_bound ~fpga_area ts then
+           "ACCEPT"
+         else "REJECT");
+      if Core.Composite.edf_nf_any ~fpga_area ts then 0 else 2
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Also run the uncorrected/printed test variants.")
+  in
+  let term = Term.(const run $ taskset_arg $ area_arg $ all_arg) in
+  let info =
+    Cmd.info "analyze"
+      ~doc:"Run the schedulability tests on a taskset"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Runs DP (Theorem 1), GN1 (Theorem 2), GN2 (Theorem 3) and the partitioned \
+             first-fit-decreasing baseline on the taskset, printing per-task exact \
+             left/right-hand sides. Exit status 0 when at least one EDF-NF test accepts, 2 when \
+             all reject.";
+        ]
+  in
+  Cmd.v info term
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let run path fpga_area horizon policy_name gantt contiguous =
+    match load_taskset path with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Ok ts ->
+      let policy =
+        match policy_name with
+        | "nf" -> Sim.Policy.edf_nf
+        | "fkf" -> Sim.Policy.edf_fkf
+        | other ->
+          Printf.eprintf "unknown policy %S (use nf or fkf)\n" other;
+          exit 1
+      in
+      let cfg = Sim.Engine.default_config ~fpga_area ~policy in
+      let cfg =
+        {
+          cfg with
+          Sim.Engine.horizon = Model.Time.of_units horizon;
+          record_trace = gantt;
+          placement =
+            (if contiguous then Sim.Engine.Contiguous Fpga.Device.First_fit
+             else Sim.Engine.Migrating);
+        }
+      in
+      let result = Sim.Engine.run cfg ts in
+      Format.printf "policy: %a, placement: %s, horizon: %d units@." Sim.Policy.pp policy
+        (if contiguous then "contiguous first-fit" else "migrating")
+        horizon;
+      (match result.Sim.Engine.outcome with
+       | Sim.Engine.No_miss -> Format.printf "no deadline miss observed@."
+       | Sim.Engine.Miss m ->
+         Format.printf "DEADLINE MISS: task %d at t=%s@." (m.Sim.Engine.task_index + 1)
+           (Model.Time.to_string m.Sim.Engine.at));
+      let s = result.Sim.Engine.stats in
+      Format.printf
+        "jobs: %d released, %d completed; preemptions: %d; contended time: %s units@."
+        s.Sim.Engine.jobs_released s.Sim.Engine.jobs_completed s.Sim.Engine.preemptions
+        (Model.Time.to_string (Model.Time.of_ticks s.Sim.Engine.contended_ticks));
+      Format.printf "mean occupied area: %.1f / %d columns@."
+        (Sim.Engine.average_busy_area result cfg)
+        fpga_area;
+      if gantt then print_string (Trace.Gantt.render ~fpga_area ts result);
+      (match result.Sim.Engine.outcome with Sim.Engine.No_miss -> 0 | Sim.Engine.Miss _ -> 2)
+  in
+  let policy_arg =
+    Arg.(value & opt string "nf" & info [ "policy" ] ~docv:"nf|fkf" ~doc:"Scheduling policy.")
+  in
+  let gantt_arg = Arg.(value & flag & info [ "gantt" ] ~doc:"Render an ASCII Gantt chart.") in
+  let contiguous_arg =
+    Arg.(
+      value & flag
+      & info [ "contiguous" ]
+          ~doc:"Contiguous first-fit placement instead of unrestricted migration.")
+  in
+  let term =
+    Term.(const run $ taskset_arg $ area_arg $ horizon_arg $ policy_arg $ gantt_arg $ contiguous_arg)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Simulate EDF-NF or EDF-FkF scheduling of a taskset") term
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let run profile_name n seed target =
+    let profile =
+      match profile_name with
+      | "unconstrained" -> Model.Generator.unconstrained ~n
+      | "spatially-heavy" -> Model.Generator.spatially_heavy_temporally_light ~n
+      | "temporally-heavy" -> Model.Generator.spatially_light_temporally_heavy ~n
+      | other ->
+        Printf.eprintf
+          "unknown profile %S (use unconstrained, spatially-heavy or temporally-heavy)\n" other;
+        exit 1
+    in
+    let rng = Rng.create ~seed in
+    let ts =
+      match target with
+      | None -> Some (Model.Generator.draw rng profile)
+      | Some t -> Model.Generator.draw_with_target_us rng profile ~target_us:t
+    in
+    match ts with
+    | None ->
+      Printf.eprintf "target utilization unreachable for this profile\n";
+      1
+    | Some ts ->
+      print_string (Model.Taskset.to_csv ts);
+      0
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt string "unconstrained"
+      & info [ "profile" ] ~docv:"NAME"
+          ~doc:"Workload profile: unconstrained, spatially-heavy or temporally-heavy.")
+  in
+  let n_arg = Arg.(value & opt int 10 & info [ "n" ] ~docv:"N" ~doc:"Number of tasks.") in
+  let target_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "target-us" ] ~docv:"US" ~doc:"Condition the draw on this total system utilization.")
+  in
+  let term = Term.(const run $ profile_arg $ n_arg $ seed_arg $ target_arg) in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic taskset CSV on stdout") term
+
+(* --- sweep --- *)
+
+let sweep_cmd =
+  let run figure_name samples seed horizon csv =
+    match
+      List.find_opt (fun f -> Experiment.Figures.id f = figure_name) Experiment.Figures.all
+    with
+    | None ->
+      Printf.eprintf "unknown figure %S (use fig3a, fig3b, fig4a or fig4b)\n" figure_name;
+      1
+    | Some figure ->
+      let cfg =
+        Experiment.Figures.config ~samples ~seed
+          ~sim_horizon:(Model.Time.of_units horizon) figure
+      in
+      let progress done_ total =
+        Printf.eprintf "\r%d/%d points" done_ total;
+        flush stderr
+      in
+      let result = Experiment.Sweep.run ~progress cfg in
+      Printf.eprintf "\r%*s\r" 20 "";
+      print_endline (Experiment.Figures.caption figure);
+      if csv then print_string (Experiment.Sweep.to_csv result)
+      else begin
+        print_string (Experiment.Sweep.to_table result);
+        print_newline ();
+        print_string (Experiment.Sweep.to_ascii_plot result)
+      end;
+      0
+  in
+  let figure_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FIGURE" ~doc:"One of fig3a, fig3b, fig4a, fig4b.")
+  in
+  let samples_arg =
+    Arg.(value & opt int 300 & info [ "samples" ] ~docv:"N" ~doc:"Tasksets per utilization point.")
+  in
+  let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
+  let term = Term.(const run $ figure_arg $ samples_arg $ seed_arg $ horizon_arg $ csv_arg) in
+  Cmd.v (Cmd.info "sweep" ~doc:"Regenerate one of the paper's figures") term
+
+(* --- exhaustive --- *)
+
+let exhaustive_cmd =
+  let run path fpga_area policy_name grid_ticks max_combinations =
+    match load_taskset path with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Ok ts ->
+      let policy =
+        match policy_name with
+        | "nf" -> Sim.Policy.edf_nf
+        | "fkf" -> Sim.Policy.edf_fkf
+        | other ->
+          Printf.eprintf "unknown policy %S (use nf or fkf)\n" other;
+          exit 1
+      in
+      (match
+         Sim.Exhaustive.search
+           ~grid:(Model.Time.of_ticks grid_ticks)
+           ~max_combinations ~fpga_area ~policy ts
+       with
+       | Sim.Exhaustive.Schedulable_all_offsets { combinations } ->
+         Format.printf "no deadline miss for any of the %d offset assignments on the grid@."
+           combinations;
+         0
+       | Sim.Exhaustive.Miss_with_offsets { offsets; miss } ->
+         Format.printf "MISS with first-release offsets (%s): task %d at t=%s@."
+           (String.concat ", " (List.map Model.Time.to_string offsets))
+           (miss.Sim.Engine.task_index + 1)
+           (Model.Time.to_string miss.Sim.Engine.at);
+         2
+       | Sim.Exhaustive.Too_many_combinations { combinations } ->
+         Printf.eprintf "search space too large (%d combinations); coarsen --grid or raise --max\n"
+           combinations;
+         1
+       | Sim.Exhaustive.Hyperperiod_too_large ->
+         Printf.eprintf "hyper-period exceeds the simulation cap; not searchable\n";
+         1)
+  in
+  let grid_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "grid" ] ~docv:"TICKS" ~doc:"Offset grid step in ticks (1000 = one time unit).")
+  in
+  let max_arg =
+    Arg.(
+      value & opt int 20000
+      & info [ "max" ] ~docv:"N" ~doc:"Maximum number of offset combinations to simulate.")
+  in
+  let policy_arg =
+    Arg.(value & opt string "nf" & info [ "policy" ] ~docv:"nf|fkf" ~doc:"Scheduling policy.")
+  in
+  let term = Term.(const run $ taskset_arg $ area_arg $ policy_arg $ grid_arg $ max_arg) in
+  Cmd.v
+    (Cmd.info "exhaustive"
+       ~doc:"Exhaustively search release offsets for a deadline miss (small tasksets)")
+    term
+
+(* --- tables --- *)
+
+let tables_cmd =
+  let run () =
+    let task name c d t a = Model.Task.of_decimal ~name ~exec:c ~deadline:d ~period:t ~area:a () in
+    let show title ts =
+      Format.printf "@.%s@." title;
+      Format.printf "%a@." Core.Report.pp (Core.Report.run ~fpga_area:10 ts)
+    in
+    show "Table 1"
+      (Model.Taskset.of_list [ task "tau1" "1.26" "7" "7" 9; task "tau2" "0.95" "5" "5" 6 ]);
+    show "Table 2"
+      (Model.Taskset.of_list [ task "tau1" "4.50" "8" "8" 3; task "tau2" "8.00" "9" "9" 5 ]);
+    show "Table 3"
+      (Model.Taskset.of_list [ task "tau1" "2.10" "5" "5" 7; task "tau2" "2.00" "7" "7" 7 ]);
+    0
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Reproduce the paper's Tables 1-3") Term.(const run $ const ())
+
+let main_cmd =
+  let doc = "schedulability analysis of EDF scheduling on reconfigurable hardware" in
+  let info =
+    Cmd.info "redf" ~version:"1.0.0" ~doc
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Reproduction of Guan, Gu, Deng, Liu, Yu: 'Improved Schedulability Analysis of EDF \
+             Scheduling on Reconfigurable Hardware Devices' (IPDPS 2007). See DESIGN.md and \
+             EXPERIMENTS.md in the source tree.";
+        ]
+  in
+  Cmd.group info [ analyze_cmd; simulate_cmd; generate_cmd; sweep_cmd; tables_cmd; exhaustive_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

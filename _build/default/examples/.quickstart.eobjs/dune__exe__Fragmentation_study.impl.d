@@ -1,0 +1,1 @@
+examples/fragmentation_study.ml: Format Fpga Fun List Model Printf Rng Sim Sim2d Trace

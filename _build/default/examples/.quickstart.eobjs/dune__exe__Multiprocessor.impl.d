@@ -1,0 +1,1 @@
+examples/multiprocessor.ml: Core Format List Model Printf Rat Sim

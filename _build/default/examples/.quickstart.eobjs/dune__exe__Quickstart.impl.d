@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Format Model Rat Sim String Trace

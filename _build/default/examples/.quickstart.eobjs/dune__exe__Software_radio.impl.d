@@ -1,0 +1,1 @@
+examples/software_radio.ml: Core Format Fpga List Model Printf Rat Sim String

@@ -1,0 +1,1 @@
+examples/video_pipeline.ml: Core Format Model Rat Sim Trace

@@ -1,0 +1,1 @@
+lib/core/composite.ml: Dp Gn1 Gn2 List Model

@@ -1,0 +1,1 @@
+lib/core/dbf.ml: Bignum Format Hashtbl List Model Rat

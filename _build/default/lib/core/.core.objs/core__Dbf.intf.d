@@ -1,0 +1,1 @@
+lib/core/dbf.mli: Format Model

@@ -1,0 +1,1 @@
+lib/core/dp.ml: Array Model Params Rat Verdict

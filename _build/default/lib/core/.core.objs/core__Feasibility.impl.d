@@ -1,0 +1,1 @@
+lib/core/feasibility.ml: Array Format Fun List Model Rat String

@@ -1,0 +1,1 @@
+lib/core/gn1.ml: Array Bignum List Params Rat Verdict

@@ -1,0 +1,1 @@
+lib/core/gn1.mli: Bignum Model Rat Verdict

@@ -1,0 +1,1 @@
+lib/core/gn2.ml: Array Format List Params Rat Stdlib Verdict

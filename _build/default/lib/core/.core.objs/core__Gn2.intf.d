@@ -1,0 +1,1 @@
+lib/core/gn2.mli: Model Rat Verdict

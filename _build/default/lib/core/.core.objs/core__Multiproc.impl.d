@@ -1,0 +1,1 @@
+lib/core/multiproc.ml: Array Dp Gn1 Gn2 List Model Params Rat

@@ -1,0 +1,1 @@
+lib/core/multiproc.mli: Model Verdict

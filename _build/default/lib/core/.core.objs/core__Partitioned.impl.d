@@ -1,0 +1,1 @@
+lib/core/partitioned.ml: Dbf Format List Model Option Rat String

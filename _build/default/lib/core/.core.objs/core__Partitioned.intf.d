@@ -1,0 +1,1 @@
+lib/core/partitioned.mli: Format Model Rat

@@ -1,0 +1,1 @@
+lib/core/report.ml: Dp Format Gn1 Gn2 List Model Printf Rat String Verdict

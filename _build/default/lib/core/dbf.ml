@@ -1,0 +1,110 @@
+module Time = Model.Time
+
+(* All computation is on integer ticks; the only rational step is the
+   Baruah horizon bound, which is then rounded up to a tick. *)
+
+let demand ts ~at =
+  let t = Time.ticks at in
+  let total =
+    List.fold_left
+      (fun acc (task : Model.Task.t) ->
+        let d = Time.ticks task.deadline and p = Time.ticks task.period in
+        let c = Time.ticks task.exec in
+        let jobs = if t < d then 0 else ((t - d) / p) + 1 in
+        acc + (jobs * c))
+      0 (Model.Taskset.to_list ts)
+  in
+  Time.of_ticks total
+
+type result =
+  | Schedulable
+  | Overloaded
+  | Demand_exceeds of { at : Time.t; demand : Time.t }
+  | Horizon_truncated
+
+let default_cap = Time.of_units 10_000
+
+(* S/(1-UT) with S = sum C_i * max(0, T_i - D_i) / T_i, in ticks,
+   rounded up; None when UT >= 1 *)
+let baruah_bound ts =
+  let ut = Model.Taskset.time_utilization ts in
+  if Rat.compare ut Rat.one >= 0 then None
+  else begin
+    let s =
+      Rat.sum
+        (List.map
+           (fun (task : Model.Task.t) ->
+             let slack_q =
+               Rat.max Rat.zero (Rat.sub (Time.to_rat task.period) (Time.to_rat task.deadline))
+             in
+             Rat.div (Rat.mul (Time.to_rat task.exec) slack_q) (Time.to_rat task.period))
+           (Model.Taskset.to_list ts))
+    in
+    let bound_units = Rat.div s (Rat.sub Rat.one ut) in
+    let ticks = Rat.ceil (Rat.mul bound_units (Rat.of_int Time.scale)) in
+    Some (Time.of_ticks (max 0 (Bignum.to_int_exn ticks)))
+  end
+
+(* exact horizon: min of the valid bounds; [None] when no finite valid
+   bound exists below the cap *)
+let exact_horizon ts ~cap =
+  let dmax =
+    List.fold_left
+      (fun acc (task : Model.Task.t) -> Time.max acc task.deadline)
+      Time.zero (Model.Taskset.to_list ts)
+  in
+  let candidates = ref [] in
+  (match baruah_bound ts with
+   | Some b -> candidates := Time.max b dmax :: !candidates
+   | None -> ());
+  (match Model.Taskset.hyperperiod ~cap ts with
+   | Model.Taskset.Finite h -> candidates := Time.add h dmax :: !candidates
+   | Model.Taskset.Exceeds_cap -> ());
+  match !candidates with [] -> None | l -> Some (List.fold_left Time.min (List.hd l) l)
+
+let check_points ?(horizon_cap = default_cap) ts =
+  let horizon =
+    match exact_horizon ts ~cap:horizon_cap with
+    | Some h -> Time.min h horizon_cap
+    | None -> horizon_cap
+  in
+  let points = Hashtbl.create 256 in
+  List.iter
+    (fun (task : Model.Task.t) ->
+      let d = Time.ticks task.deadline and p = Time.ticks task.period in
+      let t = ref d in
+      while !t <= Time.ticks horizon do
+        Hashtbl.replace points !t ();
+        t := !t + p
+      done)
+    (Model.Taskset.to_list ts);
+  Hashtbl.fold (fun t () acc -> Time.of_ticks t :: acc) points []
+  |> List.sort Time.compare
+
+let uniprocessor_edf ?(horizon_cap = default_cap) ts =
+  let ut = Model.Taskset.time_utilization ts in
+  if Rat.compare ut Rat.one > 0 then Overloaded
+  else begin
+    let violation =
+      List.find_map
+        (fun at ->
+          let dem = demand ts ~at in
+          if Time.(dem > at) then Some (Demand_exceeds { at; demand = dem }) else None)
+        (check_points ~horizon_cap ts)
+    in
+    match violation with
+    | Some v -> v
+    | None -> (
+      match exact_horizon ts ~cap:horizon_cap with
+      | Some h when Time.(h <= horizon_cap) -> Schedulable
+      | _ -> Horizon_truncated)
+  end
+
+let schedulable ?horizon_cap ts = uniprocessor_edf ?horizon_cap ts = Schedulable
+
+let pp_result fmt = function
+  | Schedulable -> Format.pp_print_string fmt "schedulable"
+  | Overloaded -> Format.pp_print_string fmt "overloaded (UT > 1)"
+  | Demand_exceeds { at; demand } ->
+    Format.fprintf fmt "demand %a exceeds %a" Time.pp demand Time.pp at
+  | Horizon_truncated -> Format.pp_print_string fmt "no violation up to the horizon cap (inexact)"

@@ -1,0 +1,49 @@
+(** Demand-bound functions and exact uniprocessor EDF analysis.
+
+    Inside one partition of Danne & Platzner's partitioned scheme
+    (Section 7 / [10]) execution is serialized, so schedulability reduces
+    to uniprocessor EDF, which is decided {e exactly} by the
+    processor-demand criterion (Baruah/Rosier/Howell):
+
+    {v forall t > 0:  dbf(t) <= t
+       dbf(t) = sum_i max(0, floor((t - D_i)/T_i) + 1) * C_i v}
+
+    Only the absolute-deadline instants up to a bounded horizon need
+    checking.  For [UT < 1] the busy-period / Baruah bound
+
+    {v  t* = max_i(T_i - D_i) * UT / (1 - UT)  v}
+
+    caps the horizon (together with the hyper-period); for [UT = 1] the
+    hyper-period alone suffices for synchronous periodic sets.
+
+    This is strictly tighter than the density test
+    [sum C_i/min(D_i,T_i) <= 1] used as the quick partition check: a
+    constrained-deadline set can fail density yet satisfy the demand
+    criterion at every point. *)
+
+val demand : Model.Taskset.t -> at:Model.Time.t -> Model.Time.t
+(** [dbf(at)]: the cumulative execution demand of jobs released at or
+    after 0 with absolute deadline at most [at] (synchronous release). *)
+
+val check_points : ?horizon_cap:Model.Time.t -> Model.Taskset.t -> Model.Time.t list
+(** The absolute deadlines in [(0, horizon]] at which the criterion must
+    be evaluated, where the horizon is the minimum of the hyper-period,
+    the Baruah bound (when [UT < 1]) and [horizon_cap] (default 10^4
+    time units).  Sorted ascending. *)
+
+type result =
+  | Schedulable
+  | Overloaded  (** [UT > 1]: trivially infeasible on one processor *)
+  | Demand_exceeds of { at : Model.Time.t; demand : Model.Time.t }
+  | Horizon_truncated
+      (** no violation found, but the exact horizon exceeded the cap, so
+          the answer is only "no violation up to the cap" *)
+
+val uniprocessor_edf : ?horizon_cap:Model.Time.t -> Model.Taskset.t -> result
+(** Exact EDF schedulability of the taskset on one processor (areas are
+    ignored). *)
+
+val schedulable : ?horizon_cap:Model.Time.t -> Model.Taskset.t -> bool
+(** [uniprocessor_edf] returned [Schedulable]. *)
+
+val pp_result : Format.formatter -> result -> unit

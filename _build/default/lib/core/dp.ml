@@ -1,0 +1,43 @@
+let applicable ts = Model.Taskset.all_implicit_deadline ts
+
+let bound_general ~plus_one ~fpga_area qs k =
+  let q = qs.(k) in
+  let a = fpga_area - Params.amax qs + if plus_one then 1 else 0 in
+  let open Rat.Infix in
+  (Rat.of_int a * (Rat.one - Params.time_utilization q)) + Params.system_utilization q
+
+let decide_general ~test_name ~plus_one ~fpga_area ts =
+  let qs = Params.of_taskset ts in
+  if Params.amax qs > fpga_area then
+    Verdict.reject_all ~test_name ~note:"a task is wider than the FPGA" ts
+  else begin
+    let us = Params.total_us qs in
+    let checks =
+      Array.to_list
+        (Array.mapi
+           (fun k _ ->
+             let rhs = bound_general ~plus_one ~fpga_area qs k in
+             {
+               Verdict.task_index = k;
+               satisfied = Rat.compare us rhs <= 0;
+               lhs = us;
+               rhs;
+               note = "US(Gamma) vs (A(H)-Amax" ^ (if plus_one then "+1" else "") ^ ")(1-UT_k)+US_k";
+             })
+           qs)
+    in
+    Verdict.make ~test_name ~checks
+  end
+
+let decide ~fpga_area ts = decide_general ~test_name:"DP" ~plus_one:true ~fpga_area ts
+let accepts ~fpga_area ts = Verdict.accepted (decide ~fpga_area ts)
+
+let decide_original ~fpga_area ts =
+  decide_general ~test_name:"DP-original" ~plus_one:false ~fpga_area ts
+
+let accepts_original ~fpga_area ts = Verdict.accepted (decide_original ~fpga_area ts)
+
+let bound ~fpga_area ts ~k =
+  let qs = Params.of_taskset ts in
+  if k < 0 || k >= Array.length qs then invalid_arg "Dp.bound: task index out of range";
+  bound_general ~plus_one:true ~fpga_area qs k

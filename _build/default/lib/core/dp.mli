@@ -1,0 +1,27 @@
+(** The DP test — Theorem 1.
+
+    Danne & Platzner's utilization bound for EDF-FkF (hence also valid for
+    EDF-NF, which dominates it), restated by Guan et al. with the
+    integer-area correction: a taskset [Gamma] is schedulable by EDF-FkF on
+    a device with [A(H) >= Amax] columns if for every task [tau_k]
+
+    {v US(Gamma) <= (A(H) - Amax + 1) * (1 - UT(tau_k)) + US(tau_k) v}
+
+    The test is derived for periodic tasks with implicit deadlines
+    ([D = T]); {!applicable} reports whether a taskset is in its domain.
+    {!decide_original} evaluates Danne & Platzner's uncorrected bound
+    (real-valued areas, [A(H) - Amax]), kept as a baseline. *)
+
+val applicable : Model.Taskset.t -> bool
+(** All deadlines implicit. *)
+
+val decide : fpga_area:int -> Model.Taskset.t -> Verdict.t
+val accepts : fpga_area:int -> Model.Taskset.t -> bool
+
+val decide_original : fpga_area:int -> Model.Taskset.t -> Verdict.t
+(** Danne & Platzner's original bound with [A(H) - Amax] (no [+1]). *)
+
+val accepts_original : fpga_area:int -> Model.Taskset.t -> bool
+
+val bound : fpga_area:int -> Model.Taskset.t -> k:int -> Rat.t
+(** The right-hand side for task [k] (0-based), integer-corrected form. *)

@@ -1,0 +1,78 @@
+let check_indices qs ~k ~i =
+  let n = Array.length qs in
+  if k < 0 || k >= n || i < 0 || i >= n then invalid_arg "Gn1: task index out of range";
+  if k = i then invalid_arg "Gn1: interference of a task on itself is undefined"
+
+(* N_i = max(0, floor((D_k - D_i)/T_i) + 1)  (Lemma 4) *)
+let n_jobs_q qs ~k ~i =
+  let qi = qs.(i) and qk = qs.(k) in
+  let f = Rat.floor (Rat.div (Rat.sub qk.Params.d qi.Params.d) qi.Params.t) in
+  Bignum.max Bignum.zero (Bignum.succ f)
+
+(* beta_i = (N_i C_i + min(C_i, max(D_k - N_i T_i, 0))) / D_i *)
+let beta_q qs ~k ~i =
+  let qi = qs.(i) and qk = qs.(k) in
+  let ni = Rat.of_bignum (n_jobs_q qs ~k ~i) in
+  let open Rat.Infix in
+  let carry = Rat.min qi.Params.c (Rat.max (qk.Params.d - (ni * qi.Params.t)) Rat.zero) in
+  ((ni * qi.Params.c) + carry) / qi.Params.d
+
+let decide_general ~test_name ~lemma3_form ~fpga_area ts =
+  let qs = Params.of_taskset ts in
+  if Params.amax qs > fpga_area then
+    Verdict.reject_all ~test_name ~note:"a task is wider than the FPGA" ts
+  else begin
+    let n = Array.length qs in
+    let check k =
+      let qk = qs.(k) in
+      let slack = Rat.sub Rat.one (Params.density qk) in
+      if Rat.sign slack < 0 then
+        (* C_k > D_k: no schedule can meet the deadline *)
+        {
+          Verdict.task_index = k;
+          satisfied = false;
+          lhs = Params.density qk;
+          rhs = Rat.one;
+          note = "C_k > D_k";
+        }
+      else begin
+        let lhs = ref Rat.zero in
+        for i = 0 to n - 1 do
+          if i <> k then begin
+            let b = beta_q qs ~k ~i in
+            lhs := Rat.add !lhs (Rat.mul qs.(i).Params.area_q (Rat.min b slack))
+          end
+        done;
+        (* Both variants compare strictly.  The paper's Lemma 3 states a
+           non-strict bound, but random testing against exact-hyperperiod
+           simulation exhibits deadline misses precisely at the equality
+           boundary (e.g. (C=7.921, D=T=8, A=10) + (C=7.301, D=T=10, A=1)
+           on A(H)=10, where lhs = rhs = 2699/1000 and the second task
+           misses at t=10), so the non-strict reading is unsound; see
+           DESIGN.md section 2 and test_regressions.ml. *)
+        let abnd = fpga_area - qk.Params.area + if lemma3_form then 1 else 0 in
+        let rhs = Rat.mul (Rat.of_int abnd) slack in
+        let satisfied = Rat.compare !lhs rhs < 0 in
+        { Verdict.task_index = k; satisfied; lhs = !lhs; rhs; note = "" }
+      end
+    in
+    Verdict.make ~test_name ~checks:(List.init n check)
+  end
+
+let decide ~fpga_area ts = decide_general ~test_name:"GN1" ~lemma3_form:true ~fpga_area ts
+let accepts ~fpga_area ts = Verdict.accepted (decide ~fpga_area ts)
+
+let decide_printed ~fpga_area ts =
+  decide_general ~test_name:"GN1-printed" ~lemma3_form:false ~fpga_area ts
+
+let accepts_printed ~fpga_area ts = Verdict.accepted (decide_printed ~fpga_area ts)
+
+let n_jobs ts ~k ~i =
+  let qs = Params.of_taskset ts in
+  check_indices qs ~k ~i;
+  n_jobs_q qs ~k ~i
+
+let beta ts ~k ~i =
+  let qs = Params.of_taskset ts in
+  check_indices qs ~k ~i;
+  beta_q qs ~k ~i

@@ -1,0 +1,152 @@
+(* beta^lambda_k(i) as in Lemma 7, with the paper's middle-case typo
+   (C_k/T_k) corrected to C_i/T_i; see DESIGN.md section 2. *)
+let beta_lambda_q qs ~k ~i ~lambda =
+  let qi = qs.(i) and qk = qs.(k) in
+  let ui = Params.time_utilization qi in
+  let dens_i = Params.density qi in
+  let light = Rat.compare ui lambda <= 0 in
+  let finishes = Rat.compare lambda dens_i >= 0 in
+  let open Rat.Infix in
+  if light then
+    Rat.max ui ((ui * (Rat.one - (qi.Params.d / qk.Params.d))) + (qi.Params.c / qk.Params.d))
+  else if finishes then ui
+  else ui + ((qi.Params.c - (lambda * qi.Params.d)) / qk.Params.d)
+
+(* lambda_k = lambda * max(1, T_k/D_k) *)
+let lambda_k_of qk lambda =
+  Rat.mul lambda (Rat.max Rat.one (Rat.div qk.Params.t qk.Params.d))
+
+(* The only candidates are the discontinuity points of beta named by the
+   paper's complexity discussion: lambda = C_i/T_i for every i, plus
+   C_i/D_i when D_i > T_i, restricted to lambda >= C_k/T_k (Theorem 3) and
+   lambda_k <= 1 (beyond which both conditions are vacuous).  Adding other
+   points — e.g. the upper interval end — would change decisions: at
+   lambda_k = 1 condition 2 degenerates to [sum < Amin] and would wrongly
+   accept the paper's Table 1. *)
+let lambda_candidates_q qs ~k =
+  let qk = qs.(k) in
+  let lo = Params.time_utilization qk in
+  let hi = Rat.min Rat.one (Rat.div qk.Params.d qk.Params.t) in
+  let discontinuities =
+    Array.to_list qs
+    |> List.concat_map (fun qi ->
+           let ui = Params.time_utilization qi in
+           if Rat.compare qi.Params.d qi.Params.t > 0 then [ ui; Params.density qi ] else [ ui ])
+  in
+  let in_range l = Rat.compare l lo >= 0 && Rat.compare l hi <= 0 in
+  let all = List.filter in_range discontinuities in
+  List.sort_uniq Rat.compare all
+
+type lambda_eval = {
+  lambda : Rat.t;
+  lambda_k : Rat.t;
+  cond1_lhs : Rat.t;
+  cond1_rhs : Rat.t;
+  cond1 : bool;
+  cond2_lhs : Rat.t;
+  cond2_rhs : Rat.t;
+  cond2 : bool;
+}
+
+let evaluate_lambda_q ~fpga_area qs ~k ~lambda =
+  let qk = qs.(k) in
+  let lambda_k = lambda_k_of qk lambda in
+  let abnd = Rat.of_int (fpga_area - Params.amax qs + 1) in
+  let amin = Rat.of_int (Params.amin qs) in
+  let open Rat.Infix in
+  let one_minus = Rat.one - lambda_k in
+  (* one pass computes both condition sums: beta is the expensive part *)
+  let cond1_lhs, cond2_lhs =
+    Array.fold_left
+      (fun (s1, s2) qi ->
+        let b = beta_lambda_q qs ~k ~i:qi.Params.index ~lambda in
+        ( s1 + (qi.Params.area_q * Rat.min b one_minus),
+          s2 + (qi.Params.area_q * Rat.min b Rat.one) ))
+      (Rat.zero, Rat.zero) qs
+  in
+  let cond1_rhs = abnd * one_minus in
+  let cond2_rhs = ((abnd - amin) * one_minus) + amin in
+  let cond1 = Stdlib.( < ) (Rat.compare cond1_lhs cond1_rhs) 0 in
+  let cond2 = Stdlib.( < ) (Rat.compare cond2_lhs cond2_rhs) 0 in
+  { lambda; lambda_k; cond1_lhs; cond1_rhs; cond1; cond2_lhs; cond2_rhs; cond2 }
+
+let decide ~fpga_area ts =
+  let test_name = "GN2" in
+  let qs = Params.of_taskset ts in
+  if Params.amax qs > fpga_area then
+    Verdict.reject_all ~test_name ~note:"a task is wider than the FPGA" ts
+  else begin
+    let check k =
+      let candidates = lambda_candidates_q qs ~k in
+      let rec search best = function
+        | [] -> (
+          (* rejected: report the evaluation that came closest on cond 2 *)
+          match best with
+          | Some ev ->
+            {
+              Verdict.task_index = k;
+              satisfied = false;
+              lhs = ev.cond2_lhs;
+              rhs = ev.cond2_rhs;
+              note = Format.asprintf "no lambda works; closest lambda=%a" Rat.pp ev.lambda;
+            }
+          | None ->
+            {
+              Verdict.task_index = k;
+              satisfied = false;
+              lhs = Rat.zero;
+              rhs = Rat.zero;
+              note = "no lambda candidate in range";
+            })
+        | lambda :: rest ->
+          let ev = evaluate_lambda_q ~fpga_area qs ~k ~lambda in
+          if ev.cond1 then
+            {
+              Verdict.task_index = k;
+              satisfied = true;
+              lhs = ev.cond1_lhs;
+              rhs = ev.cond1_rhs;
+              note = Format.asprintf "condition 1 at lambda=%a" Rat.pp lambda;
+            }
+          else if ev.cond2 then
+            {
+              Verdict.task_index = k;
+              satisfied = true;
+              lhs = ev.cond2_lhs;
+              rhs = ev.cond2_rhs;
+              note = Format.asprintf "condition 2 at lambda=%a" Rat.pp lambda;
+            }
+          else begin
+            let better =
+              match best with
+              | None -> true
+              | Some b ->
+                Rat.compare (Rat.sub ev.cond2_lhs ev.cond2_rhs) (Rat.sub b.cond2_lhs b.cond2_rhs) < 0
+            in
+            search (if better then Some ev else best) rest
+          end
+      in
+      search None candidates
+    in
+    Verdict.make ~test_name ~checks:(List.init (Array.length qs) check)
+  end
+
+let accepts ~fpga_area ts = Verdict.accepted (decide ~fpga_area ts)
+
+let check_k qs k = if k < 0 || k >= Array.length qs then invalid_arg "Gn2: task index out of range"
+
+let lambda_candidates ts ~k =
+  let qs = Params.of_taskset ts in
+  check_k qs k;
+  lambda_candidates_q qs ~k
+
+let beta_lambda ts ~k ~i ~lambda =
+  let qs = Params.of_taskset ts in
+  check_k qs k;
+  check_k qs i;
+  beta_lambda_q qs ~k ~i ~lambda
+
+let evaluate_lambda ~fpga_area ts ~k ~lambda =
+  let qs = Params.of_taskset ts in
+  check_k qs k;
+  evaluate_lambda_q ~fpga_area qs ~k ~lambda

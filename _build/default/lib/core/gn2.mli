@@ -1,0 +1,56 @@
+(** The GN2 test — Theorem 3, for EDF-FkF (hence also sound for EDF-NF).
+
+    FPGA generalisation of Baker's BAK2, combining the per-window
+    interference analysis with busy-interval (problem-window) extension.
+    For every task [tau_k] the test searches a constant
+    [lambda >= C_k/T_k]; with [lambda_k = lambda * max(1, T_k/D_k)],
+    [Abnd = A(H) - Amax + 1] and the per-task work-rate bound
+
+    {v beta^lambda_k(i) =
+         max(C_i/T_i, C_i/T_i (1 - D_i/D_k) + C_i/D_k)   if C_i/T_i <= lambda
+         C_i/T_i                                          if C_i/T_i > lambda and lambda >= C_i/D_i
+         C_i/T_i + (C_i - lambda D_i)/D_k                 if C_i/T_i > lambda and lambda <  C_i/D_i v}
+
+    the taskset is accepted iff for every [k] some candidate [lambda]
+    satisfies
+
+    {v 1)  sum_i A_i min(beta^lambda_k(i), 1 - lambda_k) <  Abnd (1 - lambda_k)
+       2)  sum_i A_i min(beta^lambda_k(i), 1) < (Abnd - Amin)(1 - lambda_k) + Amin v}
+
+    Only the discontinuity points of [beta] need be tried
+    ([lambda = C_i/T_i], and [C_i/D_i] when [D_i > T_i]), giving the
+    paper's O(N^3) complexity.
+
+    Two typos in the published statement are corrected here (see
+    DESIGN.md §2): the middle [beta] case prints [C_k/T_k] for [C_i/T_i],
+    and condition 2 prints [<=] although only the strict form reproduces
+    the paper's own Table 1 decision. *)
+
+val decide : fpga_area:int -> Model.Taskset.t -> Verdict.t
+val accepts : fpga_area:int -> Model.Taskset.t -> bool
+
+val lambda_candidates : Model.Taskset.t -> k:int -> Rat.t list
+(** The candidate values tried for task [k] (0-based): exactly the
+    discontinuity points of [beta] named by the paper ([C_i/T_i] for all
+    [i], plus [C_i/D_i] when [D_i > T_i]) that lie within
+    [\[C_k/T_k, min(1, D_k/T_k)\]], deduplicated and sorted.  No other
+    points are added: at [lambda_k = 1], for instance, condition 2
+    degenerates and would wrongly accept the paper's Table 1. *)
+
+val beta_lambda : Model.Taskset.t -> k:int -> i:int -> lambda:Rat.t -> Rat.t
+(** [beta^lambda_k(i)]; [i = k] is allowed (the Theorem-3 sums range over
+    all tasks). *)
+
+type lambda_eval = {
+  lambda : Rat.t;
+  lambda_k : Rat.t;
+  cond1_lhs : Rat.t;
+  cond1_rhs : Rat.t;
+  cond1 : bool;
+  cond2_lhs : Rat.t;
+  cond2_rhs : Rat.t;
+  cond2 : bool;
+}
+
+val evaluate_lambda : fpga_area:int -> Model.Taskset.t -> k:int -> lambda:Rat.t -> lambda_eval
+(** Both Theorem-3 conditions for one candidate, with exact sides. *)

@@ -1,0 +1,29 @@
+(** Multiprocessor specialisations.
+
+    Section 1 observes that global scheduling on [m] identical processors
+    is the special case of 1-D FPGA scheduling where every task has width
+    1 and [A(H) = m]; under that reduction EDF-FkF and EDF-NF coincide
+    with global EDF, DP specialises to Goossens/Funk/Baruah's GFB bound,
+    GN1 to Bertogna/Cirinei/Lipari's BCL, and GN2 to Baker's BAK2.  This
+    module exposes those multiprocessor tests both through the reduction
+    (reusing the FPGA implementations) and, for GFB, as the direct
+    textbook formula — the equality of the two is checked by the test
+    suite, which cross-validates the FPGA code against 20 years of
+    multiprocessor literature. *)
+
+val width_one : Model.Taskset.t -> bool
+(** All task areas equal 1. *)
+
+val gfb_direct : m:int -> Model.Taskset.t -> bool
+(** GFB: [UT(Gamma) <= m (1 - umax) + umax] with [umax = max C_i/T_i].
+    Implicit deadlines assumed (deadlines are ignored: [C/T] is used).
+    @raise Invalid_argument when the taskset is not width-1. *)
+
+val gfb : m:int -> Model.Taskset.t -> Verdict.t
+(** DP under the width-1 reduction. *)
+
+val bcl : m:int -> Model.Taskset.t -> Verdict.t
+(** GN1 under the width-1 reduction. *)
+
+val bak2 : m:int -> Model.Taskset.t -> Verdict.t
+(** GN2 under the width-1 reduction. *)

@@ -1,0 +1,37 @@
+(** Partitioned scheduling (Danne & Platzner, RAW 2006; Section 7).
+
+    The alternative to global scheduling the paper cites: the FPGA is cut
+    into fixed-width partitions, each task is bound to one partition, and
+    execution within a partition is serialized, reducing the problem to
+    bin-packing followed by uniprocessor EDF analysis.  We implement the
+    classic first-fit-decreasing allocation and the (exact for implicit
+    deadlines, sufficient otherwise) density condition
+    [sum C_i / min(D_i, T_i) <= 1] per partition.
+
+    Used as a baseline in the ablation benchmarks: global EDF-NF with the
+    combined tests versus partitioned allocation. *)
+
+type partition = { width : int; tasks : Model.Task.t list; load : Rat.t }
+(** [load] is the partition's total density. *)
+
+type plan = { partitions : partition list; unassigned : Model.Task.t list }
+
+type uniproc_test =
+  | Density  (** [sum C/min(D,T) <= 1]: fast, sufficient, exact for implicit deadlines *)
+  | Demand_bound  (** the exact processor-demand criterion ({!Dbf}) *)
+
+val first_fit_decreasing : ?test:uniproc_test -> fpga_area:int -> Model.Taskset.t -> plan
+(** Tasks sorted by decreasing area; each goes to the first existing
+    partition that is wide enough and stays feasible under [test]
+    (default [Density]); otherwise a new partition of exactly the task's
+    width is opened if the remaining device width allows, else the task
+    stays unassigned. *)
+
+val schedulable : ?test:uniproc_test -> plan -> bool
+(** Everything assigned and every partition feasible under [test]. *)
+
+val accepts : ?test:uniproc_test -> fpga_area:int -> Model.Taskset.t -> bool
+(** [schedulable (first_fit_decreasing ...)]. *)
+
+val used_width : plan -> int
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,32 @@
+type t = {
+  fpga_area : int;
+  taskset : Model.Taskset.t;
+  verdicts : Verdict.t list;
+  time_utilization : Rat.t;
+  system_utilization : Rat.t;
+}
+
+let default_tests = [ Dp.decide; Gn1.decide; Gn2.decide ]
+
+let run ?(tests = default_tests) ~fpga_area ts =
+  {
+    fpga_area;
+    taskset = ts;
+    verdicts = List.map (fun test -> test ~fpga_area ts) tests;
+    time_utilization = Model.Taskset.time_utilization ts;
+    system_utilization = Model.Taskset.system_utilization ts;
+  }
+
+let summary_line t =
+  String.concat " "
+    (List.map
+       (fun (v : Verdict.t) ->
+         Printf.sprintf "%s:%s" v.Verdict.test_name (if Verdict.accepted v then "ACCEPT" else "REJECT"))
+       t.verdicts)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>FPGA area A(H) = %d@,taskset: %a@,UT = %a (%a)  US = %a (%a)@,"
+    t.fpga_area Model.Taskset.pp t.taskset Rat.pp t.time_utilization Rat.pp_approx
+    t.time_utilization Rat.pp t.system_utilization Rat.pp_approx t.system_utilization;
+  List.iter (fun v -> Format.fprintf fmt "%a@," Verdict.pp v) t.verdicts;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,17 @@
+(** Human-readable multi-test reports for one taskset. *)
+
+type t = {
+  fpga_area : int;
+  taskset : Model.Taskset.t;
+  verdicts : Verdict.t list;
+  time_utilization : Rat.t;
+  system_utilization : Rat.t;
+}
+
+val run : ?tests:(fpga_area:int -> Model.Taskset.t -> Verdict.t) list -> fpga_area:int -> Model.Taskset.t -> t
+(** Default tests: DP, GN1, GN2. *)
+
+val summary_line : t -> string
+(** e.g. ["DP:ACCEPT GN1:REJECT GN2:REJECT"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type task_check = { task_index : int; satisfied : bool; lhs : Rat.t; rhs : Rat.t; note : string }
+type t = { test_name : string; accepted : bool; checks : task_check list }
+
+let accepted t = t.accepted
+let make ~test_name ~checks = { test_name; accepted = List.for_all (fun c -> c.satisfied) checks; checks }
+
+let reject_all ~test_name ~note ts =
+  let checks =
+    List.mapi
+      (fun i _ -> { task_index = i; satisfied = false; lhs = Rat.zero; rhs = Rat.zero; note })
+      (Model.Taskset.to_list ts)
+  in
+  { test_name; accepted = false; checks }
+
+let failing_tasks t =
+  List.filter_map (fun c -> if c.satisfied then None else Some c.task_index) t.checks
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s: %s@," t.test_name (if t.accepted then "ACCEPT" else "REJECT");
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  k=%d %s lhs=%a (%a) rhs=%a (%a)%s@," (c.task_index + 1)
+        (if c.satisfied then "ok  " else "FAIL")
+        Rat.pp c.lhs Rat.pp_approx c.lhs Rat.pp c.rhs Rat.pp_approx c.rhs
+        (if c.note = "" then "" else " [" ^ c.note ^ "]"))
+    t.checks;
+  Format.fprintf fmt "@]"

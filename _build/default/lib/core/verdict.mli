@@ -1,0 +1,32 @@
+(** Common result shape for schedulability tests.
+
+    Every test in this library is {e sufficient}: [accepted = true]
+    guarantees schedulability under the test's scheduling algorithm, while
+    [accepted = false] is inconclusive.  The per-task records keep the
+    exact rational left/right-hand sides so a rejection can be audited
+    against the paper's worked examples. *)
+
+type task_check = {
+  task_index : int;  (** the [k] of the per-task condition *)
+  satisfied : bool;
+  lhs : Rat.t;  (** evaluated left-hand side *)
+  rhs : Rat.t;  (** evaluated bound *)
+  note : string;  (** human-readable detail (e.g. which lambda succeeded) *)
+}
+
+type t = {
+  test_name : string;
+  accepted : bool;
+  checks : task_check list;  (** one per task, in taskset order *)
+}
+
+val accepted : t -> bool
+val make : test_name:string -> checks:task_check list -> t
+(** [accepted] is the conjunction of all per-task [satisfied] flags. *)
+
+val reject_all : test_name:string -> note:string -> Model.Taskset.t -> t
+(** A verdict rejecting every task with the same note (used for
+    precondition failures such as a task wider than the device). *)
+
+val failing_tasks : t -> int list
+val pp : Format.formatter -> t -> unit

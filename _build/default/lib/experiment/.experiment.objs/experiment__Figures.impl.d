@@ -1,0 +1,1 @@
+lib/experiment/figures.ml: List Model Sweep

@@ -1,0 +1,1 @@
+lib/experiment/figures.mli: Model Sweep

@@ -1,0 +1,1 @@
+lib/experiment/incomparability.ml: Hashtbl List Model Option

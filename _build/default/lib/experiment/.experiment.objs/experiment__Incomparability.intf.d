@@ -1,0 +1,1 @@
+lib/experiment/incomparability.mli: Model Rng

@@ -1,0 +1,1 @@
+lib/experiment/sweep.ml: Array Buffer Char Core Float List Model Printf Rat Rng Sim String

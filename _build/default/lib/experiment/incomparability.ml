@@ -1,0 +1,33 @@
+type witness = { taskset : Model.Taskset.t; unique_test : string; draws_used : int }
+
+let accepting_set ~fpga_area tests ts =
+  List.filter_map (fun (name, test) -> if test ~fpga_area ts then Some name else None) tests
+
+let find_unique ?(max_draws = 20_000) ~rng ~profile ~tests ~target () =
+  if not (List.mem_assoc target tests) then
+    invalid_arg "Incomparability.find_unique: unknown target test";
+  let fpga_area = profile.Model.Generator.fpga_area in
+  let rec go draw =
+    if draw > max_draws then None
+    else begin
+      let ts = Model.Generator.draw rng profile in
+      match accepting_set ~fpga_area tests ts with
+      | [ name ] when name = target -> Some { taskset = ts; unique_test = target; draws_used = draw }
+      | _ -> go (draw + 1)
+    end
+  in
+  go 1
+
+let find_all ?max_draws ~rng ~profile ~tests () =
+  List.map (fun (name, _) -> (name, find_unique ?max_draws ~rng ~profile ~tests ~target:name ())) tests
+
+let incidence ?(draws = 5000) ~rng ~profile ~tests () =
+  let fpga_area = profile.Model.Generator.fpga_area in
+  let table = Hashtbl.create 16 in
+  for _ = 1 to draws do
+    let ts = Model.Generator.draw rng profile in
+    let key = List.sort compare (accepting_set ~fpga_area tests ts) in
+    Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+  done;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

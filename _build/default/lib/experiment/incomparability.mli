@@ -1,0 +1,49 @@
+(** Automated search for discriminating tasksets.
+
+    Tables 1-3 exhibit one taskset per test that only that test accepts,
+    proving DP, GN1 and GN2 pairwise incomparable.  This module finds such
+    witnesses by random search, showing the tables are not cherry-picked
+    artifacts of specific parameters: on most workload profiles each test
+    has a region of unique strength.
+
+    A witness for test [X] is a taskset accepted by [X] and rejected by
+    every other test in the family. *)
+
+type witness = {
+  taskset : Model.Taskset.t;
+  unique_test : string;  (** the only accepting test *)
+  draws_used : int;
+}
+
+val find_unique :
+  ?max_draws:int ->
+  rng:Rng.t ->
+  profile:Model.Generator.profile ->
+  tests:(string * (fpga_area:int -> Model.Taskset.t -> bool)) list ->
+  target:string ->
+  unit ->
+  witness option
+(** Draw tasksets from [profile] until one is accepted by [target] alone
+    (among [tests]), or give up after [max_draws] (default 20000).
+    @raise Invalid_argument when [target] is not among [tests]. *)
+
+val find_all :
+  ?max_draws:int ->
+  rng:Rng.t ->
+  profile:Model.Generator.profile ->
+  tests:(string * (fpga_area:int -> Model.Taskset.t -> bool)) list ->
+  unit ->
+  (string * witness option) list
+(** One search per test in the family. *)
+
+val incidence :
+  ?draws:int ->
+  rng:Rng.t ->
+  profile:Model.Generator.profile ->
+  tests:(string * (fpga_area:int -> Model.Taskset.t -> bool)) list ->
+  unit ->
+  (string list * int) list
+(** Empirical joint acceptance: for [draws] random tasksets, how many
+    were accepted by each subset of tests (keyed by the sorted list of
+    accepting test names; the all-reject class is keyed by []).  A direct
+    quantification of Section 6's "no single test dominates". *)

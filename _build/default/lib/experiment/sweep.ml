@@ -1,0 +1,192 @@
+type method_kind =
+  | Analytic of string * (fpga_area:int -> Model.Taskset.t -> bool)
+  | Simulation of string * Sim.Policy.t
+
+let standard_methods =
+  [
+    Analytic ("DP", Core.Dp.accepts);
+    Analytic ("GN1", Core.Gn1.accepts);
+    Analytic ("GN2", Core.Gn2.accepts);
+    Simulation ("SIM-NF", Sim.Policy.edf_nf);
+    Simulation ("SIM-FkF", Sim.Policy.edf_fkf);
+    (* necessary conditions: an upper bound on true schedulability that,
+       unlike the simulations, does not depend on a horizon *)
+    Analytic ("NEC", Core.Feasibility.feasible_maybe);
+  ]
+
+type conditioning = Scaled | Binned
+
+type config = {
+  profile : Model.Generator.profile;
+  targets : float list;
+  samples : int;
+  seed : int;
+  sim_horizon : Model.Time.t;
+  methods : method_kind list;
+  conditioning : conditioning;
+}
+
+let default_targets = List.init 19 (fun i -> float_of_int ((i + 2) * 5))
+
+let default_config ~profile =
+  {
+    profile;
+    targets = default_targets;
+    samples = 300;
+    seed = 42;
+    sim_horizon = Model.Time.of_units 1000;
+    methods = standard_methods;
+    conditioning = Scaled;
+  }
+
+type point = { target_us : float; generated : int; accepted : int array }
+type t = { config : config; method_names : string list; points : point list }
+
+let method_name = function Analytic (n, _) | Simulation (n, _) -> n
+
+let evaluate cfg ts = function
+  | Analytic (_, test) -> test ~fpga_area:cfg.profile.Model.Generator.fpga_area ts
+  | Simulation (_, policy) ->
+    let sim_cfg =
+      {
+        (Sim.Engine.default_config ~fpga_area:cfg.profile.Model.Generator.fpga_area ~policy) with
+        Sim.Engine.horizon = cfg.sim_horizon;
+      }
+    in
+    Sim.Engine.schedulable sim_cfg ts
+
+let run_scaled ~progress cfg methods =
+  let master = Rng.create ~seed:cfg.seed in
+  let total = List.length cfg.targets in
+  List.mapi
+    (fun pi target_us ->
+      let rng = Rng.split master in
+      let accepted = Array.make (Array.length methods) 0 in
+      let generated = ref 0 in
+      for _ = 1 to cfg.samples do
+        match Model.Generator.draw_with_target_us rng cfg.profile ~target_us with
+        | None -> ()
+        | Some ts ->
+          incr generated;
+          Array.iteri
+            (fun mi m -> if evaluate cfg ts m then accepted.(mi) <- accepted.(mi) + 1)
+            methods
+      done;
+      progress (pi + 1) total;
+      { target_us; generated = !generated; accepted })
+    cfg.targets
+
+let run_binned ~progress cfg methods =
+  let rng = Rng.create ~seed:cfg.seed in
+  let targets = Array.of_list (List.sort_uniq compare cfg.targets) in
+  let n_buckets = Array.length targets in
+  (* half the distance to the nearest neighbouring target, per side *)
+  let in_bucket us bi =
+    let c = targets.(bi) in
+    let lo = if bi = 0 then neg_infinity else (targets.(bi - 1) +. c) /. 2.0 in
+    let hi = if bi = n_buckets - 1 then infinity else (c +. targets.(bi + 1)) /. 2.0 in
+    us >= lo && us < hi
+  in
+  let bucket_of us =
+    let rec go i = if i >= n_buckets then None else if in_bucket us i then Some i else go (i + 1) in
+    go 0
+  in
+  let generated = Array.make n_buckets 0 in
+  let accepted = Array.init n_buckets (fun _ -> Array.make (Array.length methods) 0) in
+  let draws = cfg.samples * n_buckets in
+  for d = 1 to draws do
+    let ts = Model.Generator.draw rng cfg.profile in
+    (match bucket_of (Rat.to_float (Model.Taskset.system_utilization ts)) with
+     | None -> ()
+     | Some bi ->
+       generated.(bi) <- generated.(bi) + 1;
+       Array.iteri
+         (fun mi m -> if evaluate cfg ts m then accepted.(bi).(mi) <- accepted.(bi).(mi) + 1)
+         methods);
+    if d mod (max 1 (draws / 20)) = 0 then progress (d * List.length cfg.targets / draws) (List.length cfg.targets)
+  done;
+  List.init n_buckets (fun bi ->
+      { target_us = targets.(bi); generated = generated.(bi); accepted = accepted.(bi) })
+
+let run ?(progress = fun _ _ -> ()) cfg =
+  let methods = Array.of_list cfg.methods in
+  let points =
+    match cfg.conditioning with
+    | Scaled -> run_scaled ~progress cfg methods
+    | Binned -> run_binned ~progress cfg methods
+  in
+  { config = cfg; method_names = Array.to_list (Array.map method_name methods); points }
+
+let acceptance _t ~method_index point =
+  if point.generated = 0 then 0.0
+  else float_of_int point.accepted.(method_index) /. float_of_int point.generated
+
+let to_table t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%8s %6s" "US" "sets");
+  List.iter (fun n -> Buffer.add_string buf (Printf.sprintf " %9s" n)) t.method_names;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (Printf.sprintf "%8.1f %6d" p.target_us p.generated);
+      List.iteri
+        (fun mi _ -> Buffer.add_string buf (Printf.sprintf " %9.3f" (acceptance t ~method_index:mi p)))
+        t.method_names;
+      Buffer.add_char buf '\n')
+    t.points;
+  Buffer.contents buf
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("target_us,generated," ^ String.concat "," t.method_names ^ "\n");
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (Printf.sprintf "%.2f,%d" p.target_us p.generated);
+      List.iteri
+        (fun mi _ -> Buffer.add_string buf (Printf.sprintf ",%.4f" (acceptance t ~method_index:mi p)))
+        t.method_names;
+      Buffer.add_char buf '\n')
+    t.points;
+  Buffer.contents buf
+
+let to_ascii_plot ?(height = 20) t =
+  let points = Array.of_list t.points in
+  let n_points = Array.length points in
+  let n_methods = List.length t.method_names in
+  if n_points = 0 then "(no data)"
+  else begin
+    let letters = Array.init n_methods (fun i -> Char.chr (Char.code 'A' + i)) in
+    (* grid rows: height+1 (ratio 1.0 at top), columns: one per point *)
+    let grid = Array.make_matrix (height + 1) n_points ' ' in
+    Array.iteri
+      (fun pi p ->
+        for mi = 0 to n_methods - 1 do
+          let r = acceptance t ~method_index:mi p in
+          let row = height - int_of_float (Float.round (r *. float_of_int height)) in
+          if grid.(row).(pi) = ' ' then grid.(row).(pi) <- letters.(mi) else grid.(row).(pi) <- '*'
+        done)
+      points;
+    let buf = Buffer.create 2048 in
+    Array.iteri
+      (fun row line ->
+        let label = float_of_int (height - row) /. float_of_int height in
+        Buffer.add_string buf (Printf.sprintf "%5.2f |" label);
+        Array.iter
+          (fun c ->
+            Buffer.add_char buf c;
+            Buffer.add_char buf ' ')
+          line;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf "      +";
+    Buffer.add_string buf (String.make (2 * n_points) '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf "       ";
+    Array.iter (fun p -> Buffer.add_string buf (Printf.sprintf "%-2.0f" p.target_us)) points;
+    Buffer.add_char buf '\n';
+    List.iteri
+      (fun mi name -> Buffer.add_string buf (Printf.sprintf "  %c = %s\n" letters.(mi) name))
+      t.method_names;
+    Buffer.add_string buf "  * = overlapping series\n";
+    Buffer.contents buf
+  end

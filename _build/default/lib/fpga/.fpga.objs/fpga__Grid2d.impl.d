@@ -1,0 +1,1 @@
+lib/fpga/grid2d.ml: Array List

@@ -1,0 +1,1 @@
+lib/fpga/overhead.ml: Format List Model

@@ -1,0 +1,1 @@
+lib/fpga/overhead.mli: Format Model

@@ -1,0 +1,62 @@
+(** 1-D partially runtime-reconfigurable FPGA model.
+
+    The device is a row of [area] columns (Section 2).  Placements occupy a
+    contiguous set of columns.  The paper's main analysis assumes
+    unrestricted migration — a job fits iff its width is at most the total
+    free area, because active jobs can be rearranged at zero cost — but
+    this module also implements real contiguous allocation (first/best/
+    worst-fit) and explicit compaction so the simulator can quantify what
+    restricted migration costs (a future-work item of Section 7). *)
+
+type region = { start : int; width : int }
+(** Columns [\[start, start + width)]. *)
+
+type 'a t
+(** A device whose placements are tagged with values of type ['a]. *)
+
+val create : area:int -> 'a t
+(** @raise Invalid_argument when [area < 1]. *)
+
+val area : _ t -> int
+val free_area : _ t -> int
+val occupied_area : _ t -> int
+val placements : 'a t -> ('a * region) list
+(** Current placements, ordered by start column. *)
+
+val largest_free_block : _ t -> int
+(** Width of the widest contiguous free region. *)
+
+val free_blocks : _ t -> region list
+
+val fragmentation : _ t -> float
+(** [1 - largest_free_block / free_area]; [0] when the device is empty,
+    fully occupied, or the free space is one block. *)
+
+type strategy = First_fit | Best_fit | Worst_fit
+
+val place : ?strategy:strategy -> 'a t -> tag:'a -> width:int -> region option
+(** Allocate [width] contiguous columns, or [None] when no free block is
+    wide enough.  Default strategy is [First_fit].
+    @raise Invalid_argument when [width < 1] or [width > area]. *)
+
+val place_at : 'a t -> tag:'a -> region -> unit
+(** Forced placement at a specific region (used by compaction and tests).
+    @raise Invalid_argument when the region overlaps an existing placement
+    or exceeds the device. *)
+
+val remove : 'a t -> equal:('a -> 'a -> bool) -> 'a -> bool
+(** Remove the placement whose tag matches; [false] when absent. *)
+
+val compact : 'a t -> unit
+(** Defragment: slide every placement as far left as possible, preserving
+    order.  Models the paper's zero-cost unrestricted migration; afterwards
+    the free area is one contiguous block. *)
+
+val fits_contiguous : _ t -> int -> bool
+(** Is there a single free block of at least this width? *)
+
+val fits_total : _ t -> int -> bool
+(** Is the total free area at least this width?  Under unrestricted
+    migration this is the paper's fit criterion. *)
+
+val clear : _ t -> unit

@@ -1,0 +1,93 @@
+type rect = { x : int; y : int; w : int; h : int }
+
+type 'a t = {
+  gw : int;
+  gh : int;
+  occ : bool array; (* row-major occupancy; true = occupied *)
+  mutable placed : ('a * rect) list;
+}
+
+let create ~width ~height =
+  if width < 1 || height < 1 then invalid_arg "Grid2d.create: dimensions must be >= 1";
+  { gw = width; gh = height; occ = Array.make (width * height) false; placed = [] }
+
+let width t = t.gw
+let height t = t.gh
+let cells t = t.gw * t.gh
+let idx t x y = (y * t.gw) + x
+let occupied_cells t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.occ
+let free_cells t = cells t - occupied_cells t
+let placements t = t.placed
+
+let region_free t r =
+  let ok = ref true in
+  for y = r.y to r.y + r.h - 1 do
+    for x = r.x to r.x + r.w - 1 do
+      if t.occ.(idx t x y) then ok := false
+    done
+  done;
+  !ok
+
+let mark t r v =
+  for y = r.y to r.y + r.h - 1 do
+    for x = r.x to r.x + r.w - 1 do
+      t.occ.(idx t x y) <- v
+    done
+  done
+
+let place_at t ~tag r =
+  if r.x < 0 || r.y < 0 || r.w < 1 || r.h < 1 || r.x + r.w > t.gw || r.y + r.h > t.gh then
+    invalid_arg "Grid2d.place_at: rectangle out of bounds";
+  if not (region_free t r) then invalid_arg "Grid2d.place_at: rectangle overlaps";
+  mark t r true;
+  t.placed <- (tag, r) :: t.placed
+
+let find_spot t ~w ~h =
+  if w < 1 || h < 1 || w > t.gw || h > t.gh then
+    invalid_arg "Grid2d: rectangle dimensions out of range";
+  let found = ref None in
+  (try
+     for y = 0 to t.gh - h do
+       for x = 0 to t.gw - w do
+         if region_free t { x; y; w; h } then begin
+           found := Some { x; y; w; h };
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !found
+
+let place t ~tag ~w ~h =
+  match find_spot t ~w ~h with
+  | None -> None
+  | Some r ->
+    mark t r true;
+    t.placed <- (tag, r) :: t.placed;
+    Some r
+
+let can_place t ~w ~h = find_spot t ~w ~h <> None
+
+let remove t ~equal tag =
+  match List.partition (fun (tg, _) -> equal tg tag) t.placed with
+  | [], _ -> false
+  | removed, kept ->
+    List.iter (fun (_, r) -> mark t r false) removed;
+    t.placed <- kept;
+    true
+
+let fragmentation t =
+  let free = free_cells t in
+  if free = 0 then 0.0
+  else begin
+    (* largest placeable square, by probing decreasing sizes *)
+    let side = ref (min t.gw t.gh) in
+    while !side > 0 && not (can_place t ~w:!side ~h:!side) do
+      decr side
+    done;
+    1.0 -. (float_of_int (!side * !side) /. float_of_int free)
+  end
+
+let clear t =
+  Array.fill t.occ 0 (Array.length t.occ) false;
+  t.placed <- []

@@ -1,0 +1,41 @@
+(** 2-D reconfigurable FPGA model (Section 7 future work).
+
+    Tasks occupy axis-aligned rectangles of CLBs.  Unlike the 1-D model
+    with unrestricted migration, 2-D placement suffers genuine
+    fragmentation: free cells may be plentiful yet no placement exists.
+    This module provides a simple occupancy-grid device with bottom-left
+    first-fit placement, which the ablation benchmarks use to quantify the
+    schedulability gap between the paper's 1-D assumption and a 2-D
+    device. *)
+
+type rect = { x : int; y : int; w : int; h : int }
+
+type 'a t
+
+val create : width:int -> height:int -> 'a t
+(** @raise Invalid_argument on non-positive dimensions. *)
+
+val width : _ t -> int
+val height : _ t -> int
+val cells : _ t -> int
+val free_cells : _ t -> int
+val occupied_cells : _ t -> int
+val placements : 'a t -> ('a * rect) list
+
+val place : 'a t -> tag:'a -> w:int -> h:int -> rect option
+(** Bottom-left first-fit: scan positions row-major and take the first
+    where the [w * h] rectangle is entirely free.
+    @raise Invalid_argument when [w] or [h] is out of range. *)
+
+val place_at : 'a t -> tag:'a -> rect -> unit
+(** @raise Invalid_argument on overlap or out-of-bounds. *)
+
+val remove : 'a t -> equal:('a -> 'a -> bool) -> 'a -> bool
+
+val can_place : _ t -> w:int -> h:int -> bool
+
+val fragmentation : _ t -> float
+(** [1 - largest placeable square area / free cells] estimated by probing;
+    [0] on an empty or full grid. *)
+
+val clear : _ t -> unit

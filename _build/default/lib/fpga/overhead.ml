@@ -1,0 +1,33 @@
+module Time = Model.Time
+module Task = Model.Task
+module Taskset = Model.Taskset
+
+type model = Zero | Constant of Time.t | Per_column of Time.t
+
+let cost model ~area =
+  match model with
+  | Zero -> Time.zero
+  | Constant c -> c
+  | Per_column per -> Time.mul_int per area
+
+let inflate_exec model (task : Task.t) = Time.add task.exec (cost model ~area:task.area)
+
+let inflatable model (task : Task.t) =
+  let exec = inflate_exec model task in
+  Time.(exec <= task.deadline) && Time.(exec <= task.period)
+
+let inflate_task model (task : Task.t) =
+  if not (inflatable model task) then
+    invalid_arg "Overhead.inflate_task: inflated execution exceeds deadline or period";
+  { task with exec = inflate_exec model task }
+
+let inflate_taskset model ts =
+  let tasks = Taskset.to_list ts in
+  if List.for_all (inflatable model) tasks then
+    Some (Taskset.of_list (List.map (inflate_task model) tasks))
+  else None
+
+let pp_model fmt = function
+  | Zero -> Format.pp_print_string fmt "zero"
+  | Constant c -> Format.fprintf fmt "constant %a" Time.pp c
+  | Per_column c -> Format.fprintf fmt "%a/column" Time.pp c

@@ -1,0 +1,28 @@
+(** FPGA reconfiguration overhead (assumption 3 of Section 1).
+
+    The paper assumes zero reconfiguration overhead but notes that real
+    partial reconfiguration costs milliseconds, roughly proportional to
+    the reconfigured area, and that the analysis extends "by adding it to
+    the execution time".  This module implements exactly that extension:
+    an overhead model and a taskset transformation that charges each job
+    one (worst-case) reconfiguration per release. *)
+
+type model =
+  | Zero
+  | Constant of Model.Time.t  (** fixed cost per placement *)
+  | Per_column of Model.Time.t  (** cost = per-column time * task area *)
+
+val cost : model -> area:int -> Model.Time.t
+(** Worst-case reconfiguration delay for placing a task of this area. *)
+
+val inflate_task : model -> Model.Task.t -> Model.Task.t
+(** Adds the placement cost to the execution time.
+    @raise Invalid_argument if the inflated execution time exceeds the
+    deadline and the period (such a task can trivially never be
+    scheduled; callers should treat the set as unschedulable instead). *)
+
+val inflate_taskset : model -> Model.Taskset.t -> Model.Taskset.t option
+(** [None] when some task's inflated execution time exceeds its deadline
+    or period (the set is certainly unschedulable with this overhead). *)
+
+val pp_model : Format.formatter -> model -> unit

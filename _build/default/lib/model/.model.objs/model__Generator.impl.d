@@ -1,0 +1,1 @@
+lib/model/generator.ml: Array Float List Printf Rng Task Taskset Time

@@ -1,0 +1,1 @@
+lib/model/generator.mli: Rng Taskset

@@ -1,0 +1,1 @@
+lib/model/task.ml: Format Rat String Time

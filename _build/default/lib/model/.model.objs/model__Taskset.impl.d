@@ -1,0 +1,1 @@
+lib/model/taskset.ml: Array Buffer Format List Printf Rat String Task Time

@@ -1,0 +1,1 @@
+lib/model/time.ml: Bignum Float Format Int Printf Rat Stdlib String

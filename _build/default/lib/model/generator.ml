@@ -1,0 +1,104 @@
+type profile = {
+  n : int;
+  fpga_area : int;
+  area_lo : int;
+  area_hi : int;
+  util_lo : float;
+  util_hi : float;
+  period_lo : float;
+  period_hi : float;
+  period_grid : int;
+}
+
+let default_period_grid = 250
+
+let base_profile ~n =
+  {
+    n;
+    fpga_area = 100;
+    area_lo = 1;
+    area_hi = 100;
+    util_lo = 0.0;
+    util_hi = 1.0;
+    period_lo = 5.0;
+    period_hi = 20.0;
+    period_grid = default_period_grid;
+  }
+
+let unconstrained ~n = base_profile ~n
+let spatially_heavy_temporally_light ~n = { (base_profile ~n) with area_lo = 60; area_hi = 100; util_hi = 0.3 }
+let spatially_light_temporally_heavy ~n = { (base_profile ~n) with area_lo = 1; area_hi = 20; util_lo = 0.6 }
+
+let validate p =
+  if p.n < 1 then Error "n must be >= 1"
+  else if p.fpga_area < 1 then Error "fpga_area must be >= 1"
+  else if p.area_lo < 1 || p.area_lo > p.area_hi then Error "invalid area range"
+  else if p.util_lo < 0.0 || p.util_lo >= p.util_hi || p.util_hi > 1.0 then Error "invalid utilization range"
+  else if p.period_lo <= 0.0 || p.period_lo >= p.period_hi then Error "invalid period range"
+  else if p.period_grid < 1 then Error "period_grid must be >= 1"
+  else Ok ()
+
+let validate_exn p =
+  match validate p with Ok () -> () | Error msg -> invalid_arg ("Generator: " ^ msg)
+
+let draw_area rng p = Rng.int_incl rng p.area_lo (min p.area_hi p.fpga_area)
+
+(* Period: a multiple of [period_grid] strictly inside (period_lo, period_hi). *)
+let draw_period rng p =
+  let g = p.period_grid in
+  let lo_tick = int_of_float (p.period_lo *. float_of_int Time.scale) in
+  let hi_tick = int_of_float (p.period_hi *. float_of_int Time.scale) in
+  let k_lo = (lo_tick / g) + 1 in
+  let k_hi = if hi_tick mod g = 0 then (hi_tick / g) - 1 else hi_tick / g in
+  if k_lo > k_hi then invalid_arg "Generator: period range contains no grid point";
+  Time.of_ticks (Rng.int_incl rng k_lo k_hi * g)
+
+(* Execution time from a utilization: C = u * T rounded to the nearest
+   tick, at least one tick and at most the period. *)
+let exec_of_util u (period : Time.t) =
+  let t = Time.ticks period in
+  let c = int_of_float (Float.round (u *. float_of_int t)) in
+  Time.of_ticks (max 1 (min c t))
+
+let make_task i ~exec ~period ~area =
+  Task.make ~name:(Printf.sprintf "tau%d" (i + 1)) ~exec ~deadline:period ~period ~area ()
+
+let draw rng p =
+  validate_exn p;
+  let task i =
+    let area = draw_area rng p in
+    let period = draw_period rng p in
+    let u = Rng.float_range rng p.util_lo p.util_hi in
+    (* avoid a zero execution time from u ~ 0 *)
+    let u = if u <= 0.0 then 1e-6 else u in
+    make_task i ~exec:(exec_of_util u period) ~period ~area
+  in
+  Taskset.of_list (List.init p.n task)
+
+let max_reachable_us p = float_of_int p.n *. p.util_hi *. float_of_int (min p.area_hi p.fpga_area)
+
+let draw_with_target_us ?(max_attempts = 200) rng p ~target_us =
+  validate_exn p;
+  if target_us <= 0.0 then invalid_arg "Generator: target_us must be positive";
+  let attempt () =
+    let areas = Array.init p.n (fun _ -> draw_area rng p) in
+    let periods = Array.init p.n (fun _ -> draw_period rng p) in
+    let raw = Array.init p.n (fun _ -> Rng.float_range rng p.util_lo p.util_hi) in
+    let weighted = Array.mapi (fun i u -> u *. float_of_int areas.(i)) raw in
+    let total = Array.fold_left ( +. ) 0.0 weighted in
+    if total <= 0.0 then None
+    else begin
+      let factor = target_us /. total in
+      let scaled = Array.map (fun u -> u *. factor) raw in
+      let within u = u > 0.0 && u >= p.util_lo && u <= p.util_hi in
+      if Array.for_all within scaled then
+        Some
+          (Taskset.of_list
+             (List.init p.n (fun i ->
+                  make_task i ~exec:(exec_of_util scaled.(i) periods.(i)) ~period:periods.(i)
+                    ~area:areas.(i))))
+      else None
+    end
+  in
+  let rec go k = if k >= max_attempts then None else match attempt () with Some ts -> Some ts | None -> go (k + 1) in
+  go 0

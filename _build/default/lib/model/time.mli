@@ -1,0 +1,50 @@
+(** Fixed-point time.
+
+    All task parameters and simulator clocks are integer counts of a fixed
+    sub-unit tick ([1/1000] of a time unit).  Integer ticks make the
+    discrete-event simulator exact (no drifting float comparisons) and
+    convert losslessly to the rationals used by the analysis tests: the
+    paper's parameters such as [C = 1.26] are representable exactly. *)
+
+type t = private int
+(** A duration or instant, in ticks.  May be negative (instants before the
+    origin arise in analysis windows). *)
+
+val scale : int
+(** Ticks per time unit (1000). *)
+
+val zero : t
+val of_ticks : int -> t
+val ticks : t -> int
+
+val of_units : int -> t
+(** [of_units 7] is exactly 7.0 time units. *)
+
+val of_decimal_string : string -> t
+(** Exact conversion of e.g. ["1.26"]; at most 3 fractional digits.
+    @raise Invalid_argument when the value is not a whole tick count. *)
+
+val of_float_round : float -> t
+(** Nearest-tick rounding; for synthetic workload generation only. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul_int : t -> int -> t
+val min : t -> t -> t
+val max : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_positive : t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+
+val to_rat : t -> Rat.t
+(** Exact value in time units. *)
+
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit
+(** Prints in time units, e.g. [1.26]. *)
+
+val to_string : t -> string

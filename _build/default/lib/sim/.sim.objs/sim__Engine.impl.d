@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Fpga Hashtbl Int Job List Model Policy Pqueue Rng

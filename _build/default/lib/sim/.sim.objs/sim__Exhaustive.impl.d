@@ -1,0 +1,1 @@
+lib/sim/exhaustive.ml: Engine List Model

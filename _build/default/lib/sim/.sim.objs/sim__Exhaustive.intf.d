@@ -1,0 +1,1 @@
+lib/sim/exhaustive.mli: Engine Model Policy

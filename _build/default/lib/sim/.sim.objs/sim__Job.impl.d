@@ -1,0 +1,1 @@
+lib/sim/job.ml: Format Int Model

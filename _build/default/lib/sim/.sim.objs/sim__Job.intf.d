@@ -1,0 +1,1 @@
+lib/sim/job.mli: Format Model

@@ -1,0 +1,1 @@
+lib/sim/policy.ml: Format Int Job List Model Rat

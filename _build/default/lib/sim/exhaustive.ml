@@ -1,0 +1,72 @@
+module Time = Model.Time
+
+type outcome =
+  | Schedulable_all_offsets of { combinations : int }
+  | Miss_with_offsets of { offsets : Time.t list; miss : Engine.miss }
+  | Too_many_combinations of { combinations : int }
+  | Hyperperiod_too_large
+
+(* offsets per task: 0, grid, 2*grid, ... < T_i *)
+let offset_choices grid (task : Model.Task.t) =
+  let g = Time.ticks grid and p = Time.ticks task.period in
+  let n = (p + g - 1) / g in
+  List.init n (fun k -> Time.of_ticks (k * g))
+
+let count_combinations choices =
+  List.fold_left
+    (fun acc l ->
+      let n = List.length l in
+      if acc > max_int / max 1 n then max_int else acc * n)
+    1 choices
+
+let rec enumerate choices k =
+  match choices with
+  | [] -> k []
+  | first :: rest ->
+    List.find_map (fun o -> enumerate rest (fun tail -> k (o :: tail))) first
+
+let search ?(grid = Time.of_units 1) ?(max_combinations = 20_000) ~fpga_area ~policy ts =
+  match Model.Taskset.hyperperiod ts with
+  | Model.Taskset.Exceeds_cap -> Hyperperiod_too_large
+  | Model.Taskset.Finite hyper ->
+    let choices = List.map (offset_choices grid) (Model.Taskset.to_list ts) in
+    let combinations = count_combinations choices in
+    if combinations > max_combinations then Too_many_combinations { combinations }
+    else begin
+      let try_offsets offsets =
+        let max_offset = List.fold_left Time.max Time.zero offsets in
+        (* asynchronous periodic schedules need the transient plus a full
+           steady-state period: simulate max offset + 2 hyper-periods *)
+        let cfg = Engine.default_config ~fpga_area ~policy in
+        let cfg =
+          {
+            cfg with
+            Engine.horizon = Time.add max_offset (Time.mul_int hyper 2);
+            Engine.release = Engine.Offsets offsets;
+          }
+        in
+        match (Engine.run cfg ts).Engine.outcome with
+        | Engine.No_miss -> None
+        | Engine.Miss miss -> Some (Miss_with_offsets { offsets; miss })
+      in
+      match enumerate choices try_offsets with
+      | Some result -> result
+      | None -> Schedulable_all_offsets { combinations }
+    end
+
+let sync_is_not_worst_case ?grid ~fpga_area ~policy ts =
+  let cfg = Engine.default_config ~fpga_area ~policy in
+  let sync_ok =
+    match Model.Taskset.hyperperiod ts with
+    | Model.Taskset.Exceeds_cap -> None
+    | Model.Taskset.Finite hyper ->
+      Some (Engine.schedulable { cfg with Engine.horizon = hyper } ts)
+  in
+  match sync_ok with
+  | None -> None
+  | Some false -> Some false (* sync already misses: it is a worst case here *)
+  | Some true -> (
+    match search ?grid ~fpga_area ~policy ts with
+    | Miss_with_offsets _ -> Some true
+    | Schedulable_all_offsets _ -> Some false
+    | Too_many_combinations _ | Hyperperiod_too_large -> None)

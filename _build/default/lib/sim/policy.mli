@@ -1,0 +1,34 @@
+(** Scheduling policies.
+
+    A policy is an ordering of the active-job queue plus a fit rule that
+    turns the ordered queue into a running set:
+
+    - {b EDF-FkF} (Definition 1): deadline order, take the longest prefix
+      that fits — a job that does not fit blocks everything behind it.
+    - {b EDF-NF} (Definition 2): deadline order, greedily take every job
+      that fits, skipping (not blocking on) jobs that do not.
+    - {b EDF-US} (Section 7 future work, after Srinivasan & Baruah): give
+      top priority to high-utilization tasks, EDF order among the rest;
+      the paper suggests measuring "high utilization" by system rather
+      than time utilization on an FPGA, so both measures are provided. *)
+
+type fit_rule = Fkf | Nf
+
+type order =
+  | Edf  (** Definitions 1 and 2 *)
+  | Us_first of { threshold : Rat.t; measure : [ `Time | `System ] }
+      (** Tasks whose utilization exceeds [threshold] come first (among
+          themselves in task-index order), remaining jobs in EDF order.
+          [`Time] compares [C/T]; [`System] compares [C*A/(T*A(H))]. *)
+
+type t = { order : order; rule : fit_rule }
+
+val edf_fkf : t
+val edf_nf : t
+
+val edf_us : threshold:Rat.t -> measure:[ `Time | `System ] -> rule:fit_rule -> t
+
+val order_queue : t -> fpga_area:int -> Job.t list -> Job.t list
+(** Sorts active jobs into the policy's priority order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim2d/engine2d.ml: Array Fpga Hashtbl Int List Model Pqueue Sim Task2d

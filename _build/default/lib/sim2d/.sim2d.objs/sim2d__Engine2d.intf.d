@@ -1,0 +1,1 @@
+lib/sim2d/engine2d.mli: Fpga Model Sim Task2d

@@ -1,0 +1,1 @@
+lib/sim2d/task2d.mli: Format Model Rat

@@ -1,0 +1,253 @@
+module Time = Model.Time
+module Grid = Fpga.Grid2d
+
+type job = {
+  id : int;
+  task_index : int;
+  task : Task2d.t;
+  release : Time.t;
+  abs_deadline : Time.t;
+  mutable remaining : Time.t;
+}
+
+let compare_edf a b =
+  let c = Time.compare a.abs_deadline b.abs_deadline in
+  if c <> 0 then c
+  else
+    let c = Time.compare a.release b.release in
+    if c <> 0 then c else Int.compare a.id b.id
+
+type config = {
+  width : int;
+  height : int;
+  rule : Sim.Policy.fit_rule;
+  horizon : Time.t;
+  record_trace : bool;
+}
+
+let default_config ~width ~height ~rule =
+  { width; height; rule; horizon = Time.of_units 2000; record_trace = false }
+
+type placed = { job : job; rect : Grid.rect }
+type segment = { t0 : Time.t; t1 : Time.t; running : placed list; waiting : job list }
+type miss = { job_id : int; task_index : int; at : Time.t }
+type outcome = No_miss | Miss of miss
+
+type stats = {
+  jobs_released : int;
+  jobs_completed : int;
+  busy_cell_ticks : int;
+  fragmentation_rejections : int;
+  capacity_rejections : int;
+  preemptions : int;
+}
+
+type result = { outcome : outcome; stats : stats; segments : segment list }
+
+type event_kind = Release of int | Deadline_check of job
+type event = { at : Time.t; seq : int; kind : event_kind }
+
+let event_cmp a b =
+  let c = Time.compare a.at b.at in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+type state = {
+  cfg : config;
+  tasks : Task2d.t array;
+  events : event Pqueue.t;
+  mutable event_seq : int;
+  mutable active : job list;
+  mutable next_id : int;
+  rects : (int, Grid.rect) Hashtbl.t; (* job id -> kept rectangle *)
+  mutable prev_running_ids : int list;
+  mutable jobs_released : int;
+  mutable jobs_completed : int;
+  mutable busy_cell_ticks : int;
+  mutable fragmentation_rejections : int;
+  mutable capacity_rejections : int;
+  mutable preemptions : int;
+  mutable segments : segment list;
+}
+
+let push_event st ~at kind =
+  st.event_seq <- st.event_seq + 1;
+  Pqueue.push st.events { at; seq = st.event_seq; kind }
+
+let release_job st ~task_index ~at =
+  let task = st.tasks.(task_index) in
+  let job =
+    {
+      id = st.next_id;
+      task_index;
+      task;
+      release = at;
+      abs_deadline = Time.add at task.Task2d.deadline;
+      remaining = task.Task2d.exec;
+    }
+  in
+  st.next_id <- st.next_id + 1;
+  st.jobs_released <- st.jobs_released + 1;
+  st.active <- job :: st.active;
+  push_event st ~at:job.abs_deadline (Deadline_check job);
+  let next = Time.add at task.Task2d.period in
+  if Time.(next < st.cfg.horizon) then push_event st ~at:next (Release task_index)
+
+let process_events st ~now =
+  let miss = ref None in
+  let continue = ref true in
+  while !continue do
+    match Pqueue.peek st.events with
+    | Some ev when Time.(ev.at <= now) ->
+      ignore (Pqueue.pop_exn st.events);
+      (match ev.kind with
+       | Release task_index -> release_job st ~task_index ~at:ev.at
+       | Deadline_check job ->
+         if Time.is_positive job.remaining && !miss = None then
+           miss := Some { job_id = job.id; task_index = job.task_index; at = ev.at })
+    | _ -> continue := false
+  done;
+  !miss
+
+(* EDF-ordered selection with bottom-left first-fit on a tentative grid;
+   a job that had a rectangle keeps it iff still free (no migration). *)
+let select st ordered =
+  let grid : int Grid.t = Grid.create ~width:st.cfg.width ~height:st.cfg.height in
+  let try_place j =
+    match Hashtbl.find_opt st.rects j.id with
+    | Some r -> (
+      try
+        Grid.place_at grid ~tag:j.id r;
+        Some r
+      with Invalid_argument _ -> None)
+    | None -> Grid.place grid ~tag:j.id ~w:j.task.Task2d.w ~h:j.task.Task2d.h
+  in
+  let note_rejection j =
+    if Task2d.cells j.task <= Grid.free_cells grid then
+      st.fragmentation_rejections <- st.fragmentation_rejections + 1
+    else st.capacity_rejections <- st.capacity_rejections + 1
+  in
+  (* single pass: under FkF the first rejection blocks the rest of the
+     queue (they all count as rejections); under NF rejected jobs are
+     skipped *)
+  let selected = ref [] in
+  let stop = ref false in
+  List.iter
+    (fun j ->
+      if not !stop then begin
+        match try_place j with
+        | Some r -> selected := { job = j; rect = r } :: !selected
+        | None ->
+          note_rejection j;
+          (match st.cfg.rule with
+           | Sim.Policy.Fkf -> stop := true
+           | Sim.Policy.Nf -> ())
+      end
+      else note_rejection j)
+    ordered;
+  List.rev !selected
+
+let record_segment st ~now ~next ~running ~waiting =
+  let dt = Time.ticks (Time.sub next now) in
+  let occupied = List.fold_left (fun acc p -> acc + Task2d.cells p.job.task) 0 running in
+  st.busy_cell_ticks <- st.busy_cell_ticks + (occupied * dt);
+  if st.cfg.record_trace then st.segments <- { t0 = now; t1 = next; running; waiting } :: st.segments
+
+let update_rects st running =
+  let selected = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace selected p.job.id p.rect) running;
+  Hashtbl.reset st.rects;
+  Hashtbl.iter (fun id r -> Hashtbl.replace st.rects id r) selected
+
+let count_preemptions st running =
+  let running_ids = List.map (fun p -> p.job.id) running in
+  let active_ids = List.map (fun j -> j.id) st.active in
+  List.iter
+    (fun id ->
+      if List.mem id active_ids && not (List.mem id running_ids) then
+        st.preemptions <- st.preemptions + 1)
+    st.prev_running_ids;
+  st.prev_running_ids <- running_ids
+
+let run cfg tasks =
+  if tasks = [] then invalid_arg "Engine2d.run: empty task list";
+  List.iter
+    (fun (t : Task2d.t) ->
+      if t.w > cfg.width || t.h > cfg.height then
+        invalid_arg "Engine2d.run: task rectangle exceeds the device")
+    tasks;
+  let st =
+    {
+      cfg;
+      tasks = Array.of_list tasks;
+      events = Pqueue.create ~cmp:event_cmp;
+      event_seq = 0;
+      active = [];
+      next_id = 0;
+      rects = Hashtbl.create 64;
+      prev_running_ids = [];
+      jobs_released = 0;
+      jobs_completed = 0;
+      busy_cell_ticks = 0;
+      fragmentation_rejections = 0;
+      capacity_rejections = 0;
+      preemptions = 0;
+      segments = [];
+    }
+  in
+  Array.iteri (fun i _ -> push_event st ~at:Time.zero (Release i)) st.tasks;
+  let outcome = ref No_miss in
+  let now = ref Time.zero in
+  let stop = ref false in
+  while not !stop do
+    (match process_events st ~now:!now with
+     | Some m ->
+       outcome := Miss m;
+       stop := true
+     | None -> ());
+    if (not !stop) && Time.(!now >= cfg.horizon) then stop := true;
+    if not !stop then begin
+      let ordered = List.sort compare_edf st.active in
+      let running = select st ordered in
+      update_rects st running;
+      count_preemptions st running;
+      let running_ids = List.map (fun p -> p.job.id) running in
+      let waiting = List.filter (fun j -> not (List.mem j.id running_ids)) ordered in
+      let next_event = match Pqueue.peek st.events with Some e -> e.at | None -> cfg.horizon in
+      let next =
+        List.fold_left
+          (fun acc p -> Time.min acc (Time.add !now p.job.remaining))
+          (Time.min next_event cfg.horizon) running
+      in
+      assert (Time.(next > !now));
+      record_segment st ~now:!now ~next ~running ~waiting;
+      let dt = Time.sub next !now in
+      List.iter
+        (fun p ->
+          let j = p.job in
+          j.remaining <- Time.sub j.remaining dt;
+          if not (Time.is_positive j.remaining) then begin
+            st.jobs_completed <- st.jobs_completed + 1;
+            st.active <- List.filter (fun a -> a.id <> j.id) st.active;
+            Hashtbl.remove st.rects j.id;
+            st.prev_running_ids <- List.filter (fun id -> id <> j.id) st.prev_running_ids
+          end)
+        running;
+      now := next
+    end
+  done;
+  let stats =
+    {
+      jobs_released = st.jobs_released;
+      jobs_completed = st.jobs_completed;
+      busy_cell_ticks = st.busy_cell_ticks;
+      fragmentation_rejections = st.fragmentation_rejections;
+      capacity_rejections = st.capacity_rejections;
+      preemptions = st.preemptions;
+    }
+  in
+  { outcome = !outcome; stats; segments = List.rev st.segments }
+
+let schedulable cfg tasks = (run cfg tasks).outcome = No_miss
+
+let embed_1d ts ~height =
+  List.map (Task2d.of_columns ~height) (Model.Taskset.to_list ts)

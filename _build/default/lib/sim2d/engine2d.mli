@@ -1,0 +1,63 @@
+(** Event-driven EDF simulation on a 2-D reconfigurable device.
+
+    Section 7: "Especially for 2D reconfiguration, task placement strategy
+    has a large effect on FPGA fragmentation, and we cannot assume that a
+    task can fit on the FPGA as long as there is enough free area."  This
+    engine makes that effect measurable: jobs occupy rectangles placed
+    bottom-left first-fit on an occupancy grid, a running job keeps its
+    rectangle, and the statistics separate genuine capacity rejections
+    from {e fragmentation rejections} — instants where a job's cell count
+    fits in the free cells but no free rectangle exists.
+
+    The queue discipline mirrors the 1-D engine: EDF order with either the
+    First-k-Fit (blocking) or Next-Fit (skipping) rule of Definitions 1
+    and 2. *)
+
+type job = {
+  id : int;
+  task_index : int;
+  task : Task2d.t;
+  release : Model.Time.t;
+  abs_deadline : Model.Time.t;
+  mutable remaining : Model.Time.t;
+}
+
+type config = {
+  width : int;
+  height : int;
+  rule : Sim.Policy.fit_rule;
+  horizon : Model.Time.t;
+  record_trace : bool;
+}
+
+val default_config : width:int -> height:int -> rule:Sim.Policy.fit_rule -> config
+(** Horizon 2000 time units, no trace. *)
+
+type placed = { job : job; rect : Fpga.Grid2d.rect }
+type segment = { t0 : Model.Time.t; t1 : Model.Time.t; running : placed list; waiting : job list }
+type miss = { job_id : int; task_index : int; at : Model.Time.t }
+type outcome = No_miss | Miss of miss
+
+type stats = {
+  jobs_released : int;
+  jobs_completed : int;
+  busy_cell_ticks : int;
+  fragmentation_rejections : int;
+      (** times a waiting job's cells fit in the free-cell count but no
+          free rectangle of its shape existed — the loss the 1-D
+          unrestricted-migration model assumes away *)
+  capacity_rejections : int;
+      (** times a waiting job did not even fit by cell count *)
+  preemptions : int;
+}
+
+type result = { outcome : outcome; stats : stats; segments : segment list }
+
+val run : config -> Task2d.t list -> result
+(** @raise Invalid_argument when a task's rectangle exceeds the device or
+    the task list is empty. *)
+
+val schedulable : config -> Task2d.t list -> bool
+
+val embed_1d : Model.Taskset.t -> height:int -> Task2d.t list
+(** Full-height embedding of a 1-D taskset (see {!Task2d.of_columns}). *)

@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  exec : Model.Time.t;
+  deadline : Model.Time.t;
+  period : Model.Time.t;
+  w : int;
+  h : int;
+}
+
+let make ?(name = "") ~exec ~deadline ~period ~w ~h () =
+  if not (Model.Time.is_positive exec) then invalid_arg "Task2d.make: exec must be positive";
+  if not (Model.Time.is_positive deadline) then invalid_arg "Task2d.make: deadline must be positive";
+  if not (Model.Time.is_positive period) then invalid_arg "Task2d.make: period must be positive";
+  if w < 1 || h < 1 then invalid_arg "Task2d.make: rectangle sides must be >= 1";
+  { name; exec; deadline; period; w; h }
+
+let of_decimal ?name ~exec ~deadline ~period ~w ~h () =
+  make ?name
+    ~exec:(Model.Time.of_decimal_string exec)
+    ~deadline:(Model.Time.of_decimal_string deadline)
+    ~period:(Model.Time.of_decimal_string period)
+    ~w ~h ()
+
+let cells t = t.w * t.h
+
+let of_columns ~height (task : Model.Task.t) =
+  make ~name:task.name ~exec:task.exec ~deadline:task.deadline ~period:task.period ~w:task.area
+    ~h:height ()
+
+let time_utilization t = Rat.div (Model.Time.to_rat t.exec) (Model.Time.to_rat t.period)
+let cell_utilization t = Rat.mul (time_utilization t) (Rat.of_int (cells t))
+
+let pp fmt t =
+  Format.fprintf fmt "%s(C=%a, D=%a, T=%a, %dx%d)"
+    (if t.name = "" then "task" else t.name)
+    Model.Time.pp t.exec Model.Time.pp t.deadline Model.Time.pp t.period t.w t.h

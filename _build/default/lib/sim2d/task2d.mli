@@ -1,0 +1,42 @@
+(** Tasks for 2-D reconfigurable devices (Section 7 future work).
+
+    On a 2-D device a hardware task occupies a [w x h] rectangle of CLBs
+    rather than a set of columns.  The timing model is unchanged. *)
+
+type t = {
+  name : string;
+  exec : Model.Time.t;
+  deadline : Model.Time.t;
+  period : Model.Time.t;
+  w : int;  (** rectangle width in cells *)
+  h : int;  (** rectangle height in cells *)
+}
+
+val make :
+  ?name:string ->
+  exec:Model.Time.t ->
+  deadline:Model.Time.t ->
+  period:Model.Time.t ->
+  w:int ->
+  h:int ->
+  unit ->
+  t
+(** @raise Invalid_argument on non-positive parameters. *)
+
+val of_decimal :
+  ?name:string -> exec:string -> deadline:string -> period:string -> w:int -> h:int -> unit -> t
+
+val cells : t -> int
+(** [w * h]. *)
+
+val of_columns : height:int -> Model.Task.t -> t
+(** The natural embedding of the paper's 1-D model: a task of area [A]
+    becomes an [A x height] rectangle spanning the full device height.
+    Scheduling the embedded set on a [width x height] grid is exactly
+    1-D scheduling with contiguous placement. *)
+
+val time_utilization : t -> Rat.t
+val cell_utilization : t -> Rat.t
+(** [C * w * h / T] — the 2-D analogue of system utilization. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/trace/checker.ml: Format Fpga Hashtbl Int List Model Printf Sim

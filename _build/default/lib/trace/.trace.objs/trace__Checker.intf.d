@@ -1,0 +1,1 @@
+lib/trace/checker.mli: Format Model Sim

@@ -1,0 +1,1 @@
+lib/trace/gantt.ml: Array Buffer Char List Model Printf Sim String

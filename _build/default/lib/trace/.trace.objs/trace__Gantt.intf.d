@@ -1,0 +1,1 @@
+lib/trace/gantt.mli: Model Sim

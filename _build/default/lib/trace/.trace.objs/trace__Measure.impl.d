@@ -1,0 +1,1 @@
+lib/trace/measure.ml: Array List Model Sim

@@ -1,0 +1,1 @@
+lib/trace/measure.mli: Model Sim

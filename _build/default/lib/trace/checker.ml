@@ -1,0 +1,133 @@
+module Time = Model.Time
+module Engine = Sim.Engine
+
+type violation = { at : Time.t; what : string }
+
+let pp_violation fmt v = Format.fprintf fmt "t=%a: %s" Time.pp v.at v.what
+
+let violation at what = { at; what }
+
+type job_obs = {
+  job : Sim.Job.t;
+  mutable service : int; (* ticks of execution observed *)
+  mutable service_by_deadline : int;
+}
+
+let check ~fpga_area result =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let jobs : (int, job_obs) Hashtbl.t = Hashtbl.create 64 in
+  let observe (j : Sim.Job.t) =
+    match Hashtbl.find_opt jobs j.id with
+    | Some o -> o
+    | None ->
+      let o = { job = j; service = 0; service_by_deadline = 0 } in
+      Hashtbl.add jobs j.id o;
+      o
+  in
+  let prev_end = ref Time.zero in
+  List.iter
+    (fun (seg : Engine.segment) ->
+      (* tiling *)
+      if not (Time.equal seg.t0 !prev_end) then
+        add (violation seg.t0 "segment does not start where the previous ended");
+      if Time.(seg.t1 <= seg.t0) then add (violation seg.t0 "empty or reversed segment");
+      prev_end := seg.t1;
+      let dt = Time.ticks (Time.sub seg.t1 seg.t0) in
+      (* area capacity *)
+      let occupied = List.fold_left (fun acc p -> acc + Sim.Job.area p.Engine.job) 0 seg.running in
+      if occupied > fpga_area then
+        add (violation seg.t0 (Printf.sprintf "occupied area %d exceeds A(H)=%d" occupied fpga_area));
+      (* duplicate job ids in the running set *)
+      let ids = List.map (fun p -> p.Engine.job.Sim.Job.id) seg.running in
+      if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
+        add (violation seg.t0 "a job appears twice in the running set");
+      (* contiguous placements disjoint and in range *)
+      let regions = List.filter_map (fun p -> p.Engine.region) seg.running in
+      List.iter
+        (fun (r : Fpga.Device.region) ->
+          if r.start < 0 || r.start + r.width > fpga_area then
+            add (violation seg.t0 "placement out of device range"))
+        regions;
+      let sorted = List.sort (fun (a : Fpga.Device.region) b -> compare a.start b.start) regions in
+      let rec disjoint = function
+        | (a : Fpga.Device.region) :: (b :: _ as rest) ->
+          if a.start + a.width > b.start then
+            add (violation seg.t0 "overlapping contiguous placements");
+          disjoint rest
+        | _ -> ()
+      in
+      disjoint sorted;
+      (* release causality and service accounting *)
+      List.iter
+        (fun p ->
+          let j = p.Engine.job in
+          if Time.(seg.t0 < j.Sim.Job.release) then
+            add (violation seg.t0 (Printf.sprintf "job %d runs before its release" j.Sim.Job.id));
+          let o = observe j in
+          o.service <- o.service + dt;
+          if Time.(seg.t1 <= j.Sim.Job.abs_deadline) then
+            o.service_by_deadline <- o.service_by_deadline + dt
+          else if Time.(seg.t0 < j.Sim.Job.abs_deadline) then
+            (* segment straddles the deadline *)
+            o.service_by_deadline <-
+              o.service_by_deadline + Time.ticks (Time.sub j.Sim.Job.abs_deadline seg.t0))
+        seg.running;
+      List.iter (fun j -> ignore (observe j)) seg.waiting)
+    result.Engine.segments;
+  let trace_end = !prev_end in
+  (* per-job totals *)
+  Hashtbl.iter
+    (fun _ o ->
+      let exec = Time.ticks o.job.Sim.Job.task.Model.Task.exec in
+      if o.service > exec then
+        add
+          (violation o.job.Sim.Job.release
+             (Printf.sprintf "job %d served %d ticks, needs only %d" o.job.Sim.Job.id o.service exec));
+      (* when the trace covers the deadline and no miss was declared, the
+         job must have been fully served by its deadline *)
+      if
+        result.Engine.outcome = Engine.No_miss
+        && Time.(o.job.Sim.Job.abs_deadline <= trace_end)
+        && o.service_by_deadline <> exec
+      then
+        add
+          (violation o.job.Sim.Job.abs_deadline
+             (Printf.sprintf "job %d served %d/%d ticks by its deadline yet no miss declared"
+                o.job.Sim.Job.id o.service_by_deadline exec)))
+    jobs;
+  List.rev !violations
+
+let check_nf_work_conserving ~fpga_area result =
+  let violations = ref [] in
+  List.iter
+    (fun (seg : Engine.segment) ->
+      let occupied = List.fold_left (fun acc p -> acc + Sim.Job.area p.Engine.job) 0 seg.running in
+      List.iter
+        (fun j ->
+          let ak = Sim.Job.area j in
+          if occupied < fpga_area - (ak - 1) then
+            violations :=
+              violation seg.t0
+                (Printf.sprintf
+                   "waiting job with area %d while only %d columns busy (Lemma 2 violated)" ak
+                   occupied)
+              :: !violations)
+        seg.waiting)
+    result.Engine.segments;
+  List.rev !violations
+
+let check_fkf_work_conserving ~fpga_area ~amax result =
+  let violations = ref [] in
+  List.iter
+    (fun (seg : Engine.segment) ->
+      if seg.waiting <> [] then begin
+        let occupied = List.fold_left (fun acc p -> acc + Sim.Job.area p.Engine.job) 0 seg.running in
+        if occupied < fpga_area - (amax - 1) then
+          violations :=
+            violation seg.t0
+              (Printf.sprintf "only %d columns busy under contention (Lemma 1 violated)" occupied)
+            :: !violations
+      end)
+    result.Engine.segments;
+  List.rev !violations

@@ -1,0 +1,37 @@
+(** Trace invariant checking.
+
+    Validates a recorded simulation (a [segment list] from {!Sim.Engine}
+    run with [record_trace = true]) against the physical and logical
+    invariants of the model.  The test suite runs every simulated schedule
+    through this checker, so a simulator bug that produced an impossible
+    schedule (over-committed area, a job running in two places, work done
+    after the deadline it met, ...) cannot silently bias the paper's
+    simulation curves. *)
+
+type violation = {
+  at : Model.Time.t;  (** segment start where the violation was observed *)
+  what : string;
+}
+
+val check : fpga_area:int -> Sim.Engine.result -> violation list
+(** Empty means the trace is consistent.  Checked invariants:
+
+    - segments tile [\[0, horizon)] without gaps or overlaps, in order;
+    - occupied area never exceeds [A(H)];
+    - in contiguous mode, running jobs' regions are disjoint and in range;
+    - no job runs in two segments at once (jobs are sequential);
+    - no job receives more service than its execution time;
+    - no job runs before its release;
+    - a miss-free trace serves every job whose deadline falls inside the
+      traced window fully by that deadline. *)
+
+val check_nf_work_conserving : fpga_area:int -> Sim.Engine.result -> violation list
+(** Lemma 2 specifically: in every segment, each waiting job [J_k] sees
+    occupied area at least [A(H) - (A_k - 1)].  Only meaningful for
+    EDF-NF in migrating mode. *)
+
+val check_fkf_work_conserving : fpga_area:int -> amax:int -> Sim.Engine.result -> violation list
+(** Lemma 1: whenever some job waits, occupied area is at least
+    [A(H) - (Amax - 1)].  Only meaningful in migrating mode. *)
+
+val pp_violation : Format.formatter -> violation -> unit

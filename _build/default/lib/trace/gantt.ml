@@ -1,0 +1,64 @@
+module Time = Model.Time
+module Engine = Sim.Engine
+
+let render ?(columns = 72) ~fpga_area taskset result =
+  match result.Engine.segments with
+  | [] -> "(no trace recorded; run the simulation with record_trace = true)"
+  | segments ->
+    let tasks = Model.Taskset.to_array taskset in
+    let n = Array.length tasks in
+    let t_end =
+      List.fold_left (fun acc (s : Engine.segment) -> Time.max acc s.t1) Time.zero segments
+    in
+    let end_ticks = max 1 (Time.ticks t_end) in
+    let bucket_of t = min (columns - 1) (Time.ticks t * columns / end_ticks) in
+    (* per task x bucket: 0 = idle, 1 = waiting, 2 = running *)
+    let cells = Array.make_matrix n columns 0 in
+    let occupancy = Array.make columns 0 in
+    let weight = Array.make columns 0 in
+    List.iter
+      (fun (seg : Engine.segment) ->
+        let b0 = bucket_of seg.t0 and b1 = bucket_of (Time.sub seg.t1 (Time.of_ticks 1)) in
+        for b = b0 to b1 do
+          let occupied =
+            List.fold_left (fun acc p -> acc + Sim.Job.area p.Engine.job) 0 seg.running
+          in
+          occupancy.(b) <- occupancy.(b) + occupied;
+          weight.(b) <- weight.(b) + 1;
+          List.iter
+            (fun p -> cells.(p.Engine.job.Sim.Job.task_index).(b) <- 2)
+            seg.running;
+          List.iter
+            (fun (j : Sim.Job.t) ->
+              if cells.(j.task_index).(b) < 1 then cells.(j.task_index).(b) <- 1)
+            seg.waiting
+        done)
+      segments;
+    let buf = Buffer.create 1024 in
+    let name_width =
+      Array.fold_left (fun acc (t : Model.Task.t) -> max acc (String.length t.name)) 4 tasks
+    in
+    Array.iteri
+      (fun i (task : Model.Task.t) ->
+        Buffer.add_string buf (Printf.sprintf "%-*s |" name_width task.name);
+        for b = 0 to columns - 1 do
+          Buffer.add_char buf (match cells.(i).(b) with 2 -> '#' | 1 -> '.' | _ -> ' ')
+        done;
+        Buffer.add_string buf "|\n")
+      tasks;
+    (* occupancy row: digit 0-9 proportional to used fraction *)
+    Buffer.add_string buf (Printf.sprintf "%-*s |" name_width "area");
+    for b = 0 to columns - 1 do
+      let avg = if weight.(b) = 0 then 0 else occupancy.(b) / weight.(b) in
+      let level = if fpga_area = 0 then 0 else min 9 (avg * 10 / fpga_area) in
+      Buffer.add_char buf (if avg = 0 then ' ' else Char.chr (Char.code '0' + level))
+    done;
+    Buffer.add_string buf "|\n";
+    (match result.Engine.outcome with
+     | Engine.No_miss ->
+       Buffer.add_string buf
+         (Printf.sprintf "window [0, %s], no deadline miss\n" (Time.to_string t_end))
+     | Engine.Miss m ->
+       Buffer.add_string buf
+         (Printf.sprintf "deadline miss: task %d at t=%s\n" (m.task_index + 1) (Time.to_string m.at)));
+    Buffer.contents buf

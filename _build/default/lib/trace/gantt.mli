@@ -1,0 +1,13 @@
+(** ASCII Gantt rendering of simulated schedules.
+
+    One row per task plus a device-occupancy row, for the examples and the
+    CLI's [simulate --gantt].  Each character cell covers an equal slice
+    of the traced window: ['#'] the task executed during the slice,
+    ['.'] it had an active job waiting the whole slice, [' '] it was
+    inactive, ['X'] the slice contains the deadline miss that ended the
+    simulation. *)
+
+val render : ?columns:int -> fpga_area:int -> Model.Taskset.t -> Sim.Engine.result -> string
+(** Requires the result to have been recorded with [record_trace = true];
+    returns an explanatory placeholder otherwise.  [columns] is the chart
+    width in characters (default 72). *)

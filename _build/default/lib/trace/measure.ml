@@ -1,0 +1,95 @@
+module Time = Model.Time
+module Engine = Sim.Engine
+
+(* one pre-digested segment: everything the Section-2 quantities need *)
+type seg = {
+  t0 : int; (* ticks *)
+  t1 : int;
+  occupied : int;
+  running : (int * int) list; (* (task_index, area), one entry per running job *)
+  active : int list; (* task indices with at least one active job *)
+}
+
+type t = { segs : seg array }
+
+let of_result (r : Engine.result) =
+  if r.Engine.segments = [] then
+    invalid_arg "Measure.of_result: empty trace (record_trace was off?)";
+  let digest (s : Engine.segment) =
+    let running =
+      List.map (fun p -> (p.Engine.job.Sim.Job.task_index, Sim.Job.area p.Engine.job)) s.running
+    in
+    let active_running = List.map fst running in
+    let active_waiting = List.map (fun j -> j.Sim.Job.task_index) s.waiting in
+    {
+      t0 = Time.ticks s.t0;
+      t1 = Time.ticks s.t1;
+      occupied = List.fold_left (fun acc (_, a) -> acc + a) 0 running;
+      running;
+      active = List.sort_uniq compare (active_running @ active_waiting);
+    }
+  in
+  { segs = Array.of_list (List.map digest r.Engine.segments) }
+
+let span t =
+  (Time.of_ticks t.segs.(0).t0, Time.of_ticks t.segs.(Array.length t.segs - 1).t1)
+
+(* clamped overlap of a segment with [lo, hi), in ticks *)
+let overlap seg ~lo ~hi = max 0 (min seg.t1 hi - max seg.t0 lo)
+
+let fold_segments t ~lo ~hi f init =
+  let lo = Time.ticks lo and hi = Time.ticks hi in
+  Array.fold_left
+    (fun acc seg ->
+      let dt = overlap seg ~lo ~hi in
+      if dt > 0 then f acc seg dt else acc)
+    init t.segs
+
+let task_running seg task = List.exists (fun (i, _) -> i = task) seg.running
+
+let time_work t ~task ~lo ~hi =
+  Time.of_ticks
+    (fold_segments t ~lo ~hi (fun acc seg dt -> if task_running seg task then acc + dt else acc) 0)
+
+let system_work t ~lo ~hi =
+  fold_segments t ~lo ~hi (fun acc seg dt -> acc + (seg.occupied * dt)) 0
+
+let interference t ~task ~lo ~hi =
+  Time.of_ticks
+    (fold_segments t ~lo ~hi
+       (fun acc seg dt ->
+         if List.mem task seg.active && not (task_running seg task) then acc + dt else acc)
+       0)
+
+let block_busy seg ~fpga_area ~amax = fpga_area - seg.occupied <= amax - 1
+
+let block_busy_time t ~fpga_area ~amax ~lo ~hi =
+  Time.of_ticks
+    (fold_segments t ~lo ~hi
+       (fun acc seg dt -> if block_busy seg ~fpga_area ~amax then acc + dt else acc)
+       0)
+
+let task_block_busy t ~task ~fpga_area ~amax ~lo ~hi =
+  Time.of_ticks
+    (fold_segments t ~lo ~hi
+       (fun acc seg dt ->
+         if block_busy seg ~fpga_area ~amax && task_running seg task then acc + dt else acc)
+       0)
+
+let busy_interval_start t ~task ~ending_at =
+  let ending = Time.ticks ending_at in
+  (* walk segments backwards from [ending_at]; stop at the first gap in
+     the task's activity *)
+  let start = ref ending in
+  (try
+     for i = Array.length t.segs - 1 downto 0 do
+       let seg = t.segs.(i) in
+       if seg.t0 < !start && seg.t1 > seg.t0 then begin
+         (* only segments that touch the current frontier extend it *)
+         if seg.t1 >= !start && seg.t0 < !start then begin
+           if List.mem task seg.active then start := seg.t0 else raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  Time.of_ticks !start

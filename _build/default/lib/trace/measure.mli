@@ -1,0 +1,50 @@
+(** The measured quantities of Section 2, computed from recorded traces.
+
+    The paper's analysis is built on a small vocabulary — time work
+    [WT_i], system work [WS], interference [I_k], block busy time [B] and
+    [B_i], and the [tau_k]-busy interval — whose governing lemmas (5-10)
+    are deferred to a technical report.  This module computes each
+    quantity exactly (integer ticks) from a simulation trace, so the test
+    suite can audit the lemmas on real schedules instead of trusting
+    them.
+
+    All intervals are half-open [\[lo, hi)] and clamped to the traced
+    window.  The trace must have been recorded with
+    [record_trace = true]. *)
+
+type t
+
+val of_result : Sim.Engine.result -> t
+(** @raise Invalid_argument on an empty trace. *)
+
+val span : t -> Model.Time.t * Model.Time.t
+(** First instant and last instant covered by the trace. *)
+
+val time_work : t -> task:int -> lo:Model.Time.t -> hi:Model.Time.t -> Model.Time.t
+(** [WT_i(lo, hi)]: total time during which some job of task [i]
+    executes within the interval (Section 2). *)
+
+val system_work : t -> lo:Model.Time.t -> hi:Model.Time.t -> int
+(** [WS(lo, hi)] in column-ticks: the sum over tasks of
+    [WT_i * A_i] (Section 2). *)
+
+val interference : t -> task:int -> lo:Model.Time.t -> hi:Model.Time.t -> Model.Time.t
+(** [I_k(lo, hi)]: total time during which task [k] has an active job
+    but none of its jobs is executing — the time it is preempted or
+    blocked. *)
+
+val block_busy_time :
+  t -> fpga_area:int -> amax:int -> lo:Model.Time.t -> hi:Model.Time.t -> Model.Time.t
+(** [B(lo, hi)]: the time during which the idle area is at most
+    [Amax - 1], i.e. occupied area is at least [A(H) - Amax + 1]
+    (the paper's block busy intervals). *)
+
+val task_block_busy :
+  t -> task:int -> fpga_area:int -> amax:int -> lo:Model.Time.t -> hi:Model.Time.t -> Model.Time.t
+(** [B_i(lo, hi)]: the time task [i] executes within block busy time. *)
+
+val busy_interval_start : t -> task:int -> ending_at:Model.Time.t -> Model.Time.t
+(** Start of the maximal [tau_k]-busy interval ending at [ending_at]:
+    the earliest [s] such that task [k] has an active job (executing or
+    waiting) throughout [\[s, ending_at)].  Returns [ending_at] itself
+    when the task is inactive immediately before [ending_at]. *)

@@ -1,0 +1,20 @@
+  $ redf tables | grep -E 'Table|DP:|GN1:|GN2:' | head -12
+  $ redf generate --profile unconstrained -n 3 --seed 3 --target-us 20 > ts.csv
+  $ head -1 ts.csv
+  $ redf analyze ts.csv --area 100 > /dev/null 2>&1; echo "exit $?"
+  $ redf simulate ts.csv --area 100 --horizon 50 | head -2
+  $ cat > bad.csv <<'CSV'
+  > name,C,D,T,A
+  > a,9,10,10,60
+  > b,9,10,10,60
+  > CSV
+  $ redf analyze bad.csv --area 100 | grep -A2 INFEASIBLE
+  $ redf analyze bad.csv --area 100 > /dev/null 2>&1; echo "exit $?"
+  $ cat > witness.csv <<'CSV'
+  > name,C,D,T,A
+  > t0,3,3,3,6
+  > t1,1,3,3,4
+  > t2,1,2,2,4
+  > CSV
+  $ redf simulate witness.csv --area 10 --horizon 6 | head -2
+  $ redf exhaustive witness.csv --area 10 --grid 500 > /dev/null 2>&1; echo "exit $?"

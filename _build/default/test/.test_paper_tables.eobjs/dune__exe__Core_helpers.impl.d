@@ -1,0 +1,1 @@
+test/core_helpers.ml: Alcotest Bignum List Model QCheck2 QCheck_alcotest Rat

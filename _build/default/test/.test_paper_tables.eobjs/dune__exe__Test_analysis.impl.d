@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Bignum Core Core_helpers Fun List Model QCheck2 Rat Sim String

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bignum Core_helpers Float List QCheck2 String

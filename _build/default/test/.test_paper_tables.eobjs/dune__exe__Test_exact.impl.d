@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Core Core_helpers Format List Model QCheck2 Sim

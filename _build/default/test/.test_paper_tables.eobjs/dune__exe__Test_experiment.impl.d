@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Array Core Experiment List Model Rng String

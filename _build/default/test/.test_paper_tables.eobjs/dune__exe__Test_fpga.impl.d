@@ -1,0 +1,1 @@
+test/test_fpga.ml: Alcotest Core_helpers Format Fpga Int List Model QCheck2 String

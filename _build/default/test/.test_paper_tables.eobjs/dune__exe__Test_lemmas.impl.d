@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Core_helpers Fun List Model QCheck2 Rat Sim Trace

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Core_helpers Float List Model Printf Rat Rng

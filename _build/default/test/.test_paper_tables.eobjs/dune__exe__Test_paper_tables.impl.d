@@ -1,0 +1,1 @@
+test/test_paper_tables.ml: Alcotest Bignum Core Core_helpers List Model Rat

@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Core_helpers Int List Pqueue QCheck2

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Core Core_helpers Fpga List Model QCheck2 Sim Trace

@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Bignum Core_helpers Float QCheck2 Rat

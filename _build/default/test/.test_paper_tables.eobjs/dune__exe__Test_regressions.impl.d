@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Core Core_helpers List Model Rat Sim

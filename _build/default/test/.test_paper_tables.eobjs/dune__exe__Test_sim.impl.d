@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Core_helpers Fpga List Model Option Rat Sim Trace

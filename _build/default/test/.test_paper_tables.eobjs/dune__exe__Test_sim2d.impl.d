@@ -1,0 +1,1 @@
+test/test_sim2d.ml: Alcotest Core_helpers Fpga List Model QCheck2 Sim Sim2d

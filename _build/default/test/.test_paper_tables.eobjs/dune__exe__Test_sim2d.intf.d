@@ -1,0 +1,1 @@
+test/test_sim2d.mli:

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Core_helpers Fpga List Model Sim String Trace

@@ -1,0 +1,19 @@
+(* Shared helpers for the test suites. *)
+
+let task name c d t a =
+  Model.Task.of_decimal ~name ~exec:c ~deadline:d ~period:t ~area:a ()
+
+let taskset rows = Model.Taskset.of_list (List.map (fun (n, c, d, t, a) -> task n c d t a) rows)
+
+let rat_testable = Alcotest.testable Rat.pp Rat.equal
+let check_rat msg expected actual = Alcotest.check rat_testable msg expected actual
+
+let bignum_testable = Alcotest.testable Bignum.pp Bignum.equal
+let check_bignum msg expected actual = Alcotest.check bignum_testable msg expected actual
+
+let time_testable = Alcotest.testable Model.Time.pp Model.Time.equal
+let check_time msg expected actual = Alcotest.check time_testable msg expected actual
+
+(* qcheck -> alcotest bridge with a fixed test count *)
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)

@@ -1,0 +1,93 @@
+(* Tests for the binary min-heap, including a model-based property check
+   against sorted lists. *)
+
+let check_bool = Alcotest.(check bool)
+
+let basics () =
+  let q = Pqueue.create ~cmp:Int.compare in
+  check_bool "empty" true (Pqueue.is_empty q);
+  Alcotest.(check (option int)) "peek empty" None (Pqueue.peek q);
+  Alcotest.(check (option int)) "pop empty" None (Pqueue.pop q);
+  Pqueue.push q 5;
+  Pqueue.push q 3;
+  Pqueue.push q 8;
+  Alcotest.(check int) "length" 3 (Pqueue.length q);
+  Alcotest.(check (option int)) "peek min" (Some 3) (Pqueue.peek q);
+  Alcotest.(check int) "pop 3" 3 (Pqueue.pop_exn q);
+  Alcotest.(check int) "pop 5" 5 (Pqueue.pop_exn q);
+  Alcotest.(check int) "pop 8" 8 (Pqueue.pop_exn q);
+  Alcotest.check_raises "pop empty raises" (Invalid_argument "Pqueue.pop_exn: empty heap")
+    (fun () -> ignore (Pqueue.pop_exn q))
+
+let duplicates () =
+  let q = Pqueue.of_list ~cmp:Int.compare [ 2; 2; 1; 2 ] in
+  Alcotest.(check (list int)) "drain" [ 1; 2; 2; 2 ] (Pqueue.drain q);
+  check_bool "drained" true (Pqueue.is_empty q)
+
+let clear_resets () =
+  let q = Pqueue.of_list ~cmp:Int.compare [ 1; 2; 3 ] in
+  Pqueue.clear q;
+  check_bool "cleared" true (Pqueue.is_empty q);
+  Pqueue.push q 9;
+  Alcotest.(check (list int)) "usable after clear" [ 9 ] (Pqueue.drain q)
+
+let custom_order () =
+  let q = Pqueue.create ~cmp:(fun a b -> compare b a) in
+  List.iter (Pqueue.push q) [ 1; 5; 3 ];
+  Alcotest.(check (list int)) "max-heap drain" [ 5; 3; 1 ] (Pqueue.drain q)
+
+let to_list_snapshot () =
+  let q = Pqueue.of_list ~cmp:Int.compare [ 4; 1; 3 ] in
+  let snapshot = List.sort Int.compare (Pqueue.to_list q) in
+  Alcotest.(check (list int)) "snapshot members" [ 1; 3; 4 ] snapshot;
+  Alcotest.(check int) "unchanged" 3 (Pqueue.length q)
+
+let prop_drain_sorts =
+  Core_helpers.qtest "drain = List.sort" QCheck2.Gen.(list (int_range (-1000) 1000)) (fun l ->
+      let q = Pqueue.of_list ~cmp:Int.compare l in
+      Pqueue.drain q = List.sort Int.compare l)
+
+let prop_interleaved =
+  (* model-based: interleave pushes and pops, compare against a sorted-list
+     model *)
+  Core_helpers.qtest "interleaved ops match model"
+    QCheck2.Gen.(list (pair bool (int_range 0 100)))
+    (fun ops ->
+      let q = Pqueue.create ~cmp:Int.compare in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            Pqueue.push q v;
+            model := List.sort Int.compare (v :: !model);
+            true
+          end
+          else begin
+            match (Pqueue.pop q, !model) with
+            | None, [] -> true
+            | Some x, m :: rest ->
+              model := rest;
+              x = m
+            | _ -> false
+          end)
+        ops)
+
+let prop_peek_is_min =
+  Core_helpers.qtest "peek is the minimum" QCheck2.Gen.(list_size (int_range 1 50) (int_range 0 1000))
+    (fun l ->
+      let q = Pqueue.of_list ~cmp:Int.compare l in
+      Pqueue.peek q = Some (List.fold_left min (List.hd l) l))
+
+let () =
+  Alcotest.run "pqueue"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick basics;
+          Alcotest.test_case "duplicates" `Quick duplicates;
+          Alcotest.test_case "clear" `Quick clear_resets;
+          Alcotest.test_case "custom order" `Quick custom_order;
+          Alcotest.test_case "to_list" `Quick to_list_snapshot;
+        ] );
+      ("properties", [ prop_drain_sorts; prop_interleaved; prop_peek_is_min ]);
+    ]

@@ -1,0 +1,140 @@
+(* Tests for the deterministic PRNG. *)
+
+let check_bool = Alcotest.(check bool)
+
+let determinism () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let different_seeds () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check_bool "streams differ" true (!same < 4)
+
+let copy_independent () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copies aligned" (Rng.bits64 a) (Rng.bits64 b);
+  ignore (Rng.bits64 a);
+  (* advancing a does not advance b *)
+  let va = Rng.bits64 a and vb = Rng.bits64 b in
+  check_bool "diverged after extra draw" true (va <> vb)
+
+let split_diverges () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check_bool "split stream differs" true (!same < 4)
+
+let int_bounds () =
+  let r = Rng.create ~seed:99 in
+  for _ = 1 to 10000 do
+    let v = Rng.int r 17 in
+    check_bool "in [0,17)" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let int_incl_bounds () =
+  let r = Rng.create ~seed:5 in
+  for _ = 1 to 10000 do
+    let v = Rng.int_incl r (-3) 11 in
+    check_bool "in [-3,11]" true (v >= -3 && v <= 11)
+  done;
+  Alcotest.(check int) "singleton" 4 (Rng.int_incl r 4 4);
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_incl: empty range") (fun () ->
+      ignore (Rng.int_incl r 5 4))
+
+let float_bounds () =
+  let r = Rng.create ~seed:321 in
+  for _ = 1 to 10000 do
+    let v = Rng.float r 2.5 in
+    check_bool "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done;
+  for _ = 1 to 10000 do
+    let v = Rng.float_range r 5.0 20.0 in
+    check_bool "in [5,20)" true (v >= 5.0 && v < 20.0)
+  done
+
+let uniformity () =
+  (* crude bucket check: 10 buckets, 20000 draws, each bucket within
+     +/- 30% of the expectation *)
+  let r = Rng.create ~seed:2718 in
+  let buckets = Array.make 10 0 in
+  let draws = 20000 in
+  for _ = 1 to draws do
+    let b = Rng.int r 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  let expect = draws / 10 in
+  Array.iteri
+    (fun i c ->
+      check_bool (Printf.sprintf "bucket %d balanced (%d)" i c) true
+        (c > expect * 7 / 10 && c < expect * 13 / 10))
+    buckets
+
+let float_mean () =
+  let r = Rng.create ~seed:1618 in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float r 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean near 0.5" true (mean > 0.47 && mean < 0.53)
+
+let shuffle_permutes () =
+  let r = Rng.create ~seed:31415 in
+  let a = Array.init 50 (fun i -> i) in
+  let orig = Array.copy a in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" orig sorted;
+  (* with 50 elements the odds of the identity permutation are nil *)
+  check_bool "actually shuffled" true (a <> orig)
+
+let pick_cases () =
+  let r = Rng.create ~seed:11 in
+  let a = [| 5; 6; 7 |] in
+  for _ = 1 to 100 do
+    check_bool "pick member" true (Array.mem (Rng.pick r a) a)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick r [||]))
+
+let bool_balanced () =
+  let r = Rng.create ~seed:8 in
+  let t = ref 0 in
+  for _ = 1 to 10000 do
+    if Rng.bool r then incr t
+  done;
+  check_bool "bool near 50%" true (!t > 4500 && !t < 5500)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick determinism;
+          Alcotest.test_case "different seeds" `Quick different_seeds;
+          Alcotest.test_case "copy" `Quick copy_independent;
+          Alcotest.test_case "split" `Quick split_diverges;
+          Alcotest.test_case "int bounds" `Quick int_bounds;
+          Alcotest.test_case "int_incl bounds" `Quick int_incl_bounds;
+          Alcotest.test_case "float bounds" `Quick float_bounds;
+          Alcotest.test_case "uniformity" `Quick uniformity;
+          Alcotest.test_case "float mean" `Quick float_mean;
+          Alcotest.test_case "shuffle" `Quick shuffle_permutes;
+          Alcotest.test_case "pick" `Quick pick_cases;
+          Alcotest.test_case "bool balance" `Quick bool_balanced;
+        ] );
+    ]

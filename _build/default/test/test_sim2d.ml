@@ -1,0 +1,140 @@
+(* Tests for the 2-D reconfigurable-device simulator (Section 7 future
+   work): rectangle placement, fragmentation accounting, and consistency
+   with the 1-D engine under the full-height embedding. *)
+
+module Time = Model.Time
+module E2 = Sim2d.Engine2d
+module T2 = Sim2d.Task2d
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let t2 name c d t w h = T2.of_decimal ~name ~exec:c ~deadline:d ~period:t ~w ~h ()
+
+let config ?(rule = Sim.Policy.Nf) ?(horizon = 40) ?(record = false) width height =
+  {
+    (E2.default_config ~width ~height ~rule) with
+    E2.horizon = Time.of_units horizon;
+    record_trace = record;
+  }
+
+let no_miss r = r.E2.outcome = E2.No_miss
+
+let single_rectangle () =
+  let r = E2.run (config 10 10 ~horizon:50) [ t2 "a" "2" "5" "5" 4 3 ] in
+  check_bool "schedulable" true (no_miss r);
+  check_int "jobs" 10 r.E2.stats.jobs_released;
+  (* busy integral: 10 jobs * 2 units * 12 cells *)
+  check_int "cell ticks" (10 * 2000 * 12) r.E2.stats.busy_cell_ticks
+
+let parallel_rectangles () =
+  (* 4x10 and 6x10 fill a 10x10 side by side *)
+  let tasks = [ t2 "a" "3" "5" "5" 4 10; t2 "b" "3" "5" "5" 6 10 ] in
+  let r = E2.run (config 10 10 ~horizon:50) tasks in
+  check_bool "schedulable" true (no_miss r);
+  check_int "no rejections" 0
+    (r.E2.stats.fragmentation_rejections + r.E2.stats.capacity_rejections)
+
+let overload_misses () =
+  let r = E2.run (config 10 10) [ t2 "a" "6" "5" "5" 5 5 ] in
+  match r.E2.outcome with
+  | E2.Miss m -> Core_helpers.check_time "first deadline" (Time.of_units 5) m.E2.at
+  | E2.No_miss -> Alcotest.fail "expected a miss"
+
+let too_large_rejected () =
+  Alcotest.check_raises "oversize" (Invalid_argument "Engine2d.run: task rectangle exceeds the device")
+    (fun () -> ignore (E2.run (config 10 10) [ t2 "a" "1" "5" "5" 11 1 ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Engine2d.run: empty task list") (fun () ->
+      ignore (E2.run (config 10 10) []))
+
+(* 2-D fragmentation: three tall blocks fill the width; when the middle
+   one keeps running, a wide job cannot be placed although enough cells
+   are free — the engine must classify that as a fragmentation
+   rejection. *)
+let fragmentation_classified () =
+  let tasks =
+    [
+      t2 "left" "1" "20" "20" 4 10;
+      t2 "mid" "6" "20" "20" 3 10;
+      t2 "right" "1" "20" "20" 3 10;
+      (* released at 0 with the longest deadline: placed nowhere once the
+         first three claim the whole width; after left and right finish
+         (t=1) there are 70 free cells but no 6-wide rectangle *)
+      t2 "wide" "2" "21" "21" 6 6;
+    ]
+  in
+  let r = E2.run (config 10 10 ~horizon:15 ~record:true) tasks in
+  check_bool "fragmentation rejections observed" true (r.E2.stats.fragmentation_rejections > 0)
+
+(* the full-height embedding of a 1-D taskset behaves exactly like the
+   1-D engine in contiguous first-fit mode *)
+let embedding_matches_1d () =
+  let sets =
+    [
+      Core_helpers.taskset
+        [ ("t1", "2", "4", "4", 6); ("t2", "2", "4", "4", 6); ("t3", "3", "4", "4", 4) ];
+      Core_helpers.taskset
+        [ ("a", "1", "3", "3", 5); ("b", "2", "5", "5", 7); ("c", "1", "4", "4", 2) ];
+      Core_helpers.taskset [ ("x", "5", "6", "6", 9); ("y", "1", "2", "2", 2) ];
+    ]
+  in
+  List.iter
+    (fun ts ->
+      List.iter
+        (fun rule ->
+          let cfg1 =
+            {
+              (Sim.Engine.default_config ~fpga_area:10
+                 ~policy:
+                   (match rule with
+                    | Sim.Policy.Nf -> Sim.Policy.edf_nf
+                    | Sim.Policy.Fkf -> Sim.Policy.edf_fkf))
+              with
+              Sim.Engine.horizon = Time.of_units 60;
+              placement = Sim.Engine.Contiguous Fpga.Device.First_fit;
+            }
+          in
+          let ok1 = Sim.Engine.schedulable cfg1 ts in
+          let cfg2 = { (config 10 8 ~rule ~horizon:60) with E2.record_trace = false } in
+          let ok2 = E2.schedulable cfg2 (E2.embed_1d ts ~height:8) in
+          check_bool "1-D embedding agrees" ok1 ok2)
+        [ Sim.Policy.Nf; Sim.Policy.Fkf ])
+    sets
+
+(* random embedded tasksets: same agreement *)
+let prop_embedding =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 2 4)
+        (let* t_units = oneofl [ 2; 3; 4; 6 ] in
+         let period = Model.Time.of_units t_units in
+         let* c = int_range 1 (Model.Time.ticks period) in
+         let* area = int_range 1 10 in
+         return (Model.Task.make ~exec:(Model.Time.of_ticks c) ~deadline:period ~period ~area ()))
+      >|= Model.Taskset.of_list)
+  in
+  Core_helpers.qtest ~count:150 "2-D embedding = 1-D contiguous" gen (fun ts ->
+      let cfg1 =
+        {
+          (Sim.Engine.default_config ~fpga_area:10 ~policy:Sim.Policy.edf_nf) with
+          Sim.Engine.horizon = Time.of_units 36;
+          placement = Sim.Engine.Contiguous Fpga.Device.First_fit;
+        }
+      in
+      let cfg2 = config 10 6 ~horizon:36 in
+      Sim.Engine.schedulable cfg1 ts = E2.schedulable cfg2 (E2.embed_1d ts ~height:6))
+
+let () =
+  Alcotest.run "sim2d"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "single rectangle" `Quick single_rectangle;
+          Alcotest.test_case "parallel rectangles" `Quick parallel_rectangles;
+          Alcotest.test_case "overload misses" `Quick overload_misses;
+          Alcotest.test_case "bad inputs" `Quick too_large_rejected;
+          Alcotest.test_case "fragmentation classified" `Quick fragmentation_classified;
+        ] );
+      ( "embedding",
+        [ Alcotest.test_case "matches 1-D contiguous" `Quick embedding_matches_1d; prop_embedding ] );
+    ]

@@ -1,0 +1,194 @@
+(* Tests for the trace checker and the Gantt renderer: beyond checking
+   good traces (covered by the property suite), the checker must actually
+   catch manufactured violations. *)
+
+module Time = Model.Time
+module Engine = Sim.Engine
+
+let check_bool = Alcotest.(check bool)
+let ts = Core_helpers.taskset
+
+let job id task_index task release =
+  Sim.Job.make ~id ~task_index ~task ~release
+
+let simple_taskset = ts [ ("a", "2", "5", "5", 6); ("b", "2", "5", "5", 5) ]
+let task_a = Model.Taskset.nth simple_taskset 0
+let task_b = Model.Taskset.nth simple_taskset 1
+
+let fabricate segments outcome =
+  { Engine.outcome; stats = (Engine.run (Engine.default_config ~fpga_area:10 ~policy:Sim.Policy.edf_nf) (ts [ ("x", "1", "5", "5", 1) ])).Engine.stats; segments }
+
+let has_violation ~substring violations =
+  List.exists
+    (fun v ->
+      let what = v.Trace.Checker.what in
+      let n = String.length substring in
+      let rec scan i = i + n <= String.length what && (String.sub what i n = substring || scan (i + 1)) in
+      scan 0)
+    violations
+
+(* a fabricated segment where both jobs run although their areas sum
+   beyond the device *)
+let overcommit_caught () =
+  let ja = job 0 0 task_a Time.zero and jb = job 1 1 task_b Time.zero in
+  let seg =
+    {
+      Engine.t0 = Time.zero;
+      t1 = Time.of_units 2;
+      running = [ { Engine.job = ja; region = None }; { Engine.job = jb; region = None } ];
+      waiting = [];
+    }
+  in
+  let r = fabricate [ seg ] Engine.No_miss in
+  (* area 6 + 5 = 11 > 8 *)
+  check_bool "overcommit detected" true
+    (has_violation ~substring:"exceeds A(H)" (Trace.Checker.check ~fpga_area:8 r))
+
+let gap_caught () =
+  let ja = job 0 0 task_a Time.zero in
+  let seg t0 t1 =
+    {
+      Engine.t0 = Time.of_units t0;
+      t1 = Time.of_units t1;
+      running = [ { Engine.job = ja; region = None } ];
+      waiting = [];
+    }
+  in
+  let r = fabricate [ seg 0 1; seg 2 3 ] Engine.No_miss in
+  check_bool "gap detected" true
+    (has_violation ~substring:"does not start" (Trace.Checker.check ~fpga_area:10 r))
+
+let duplicate_running_caught () =
+  let ja = job 0 0 task_a Time.zero in
+  let seg =
+    {
+      Engine.t0 = Time.zero;
+      t1 = Time.of_units 1;
+      running = [ { Engine.job = ja; region = None }; { Engine.job = ja; region = None } ];
+      waiting = [];
+    }
+  in
+  let r = fabricate [ seg ] Engine.No_miss in
+  check_bool "duplicate detected" true
+    (has_violation ~substring:"twice" (Trace.Checker.check ~fpga_area:20 r))
+
+let overlapping_regions_caught () =
+  let ja = job 0 0 task_a Time.zero and jb = job 1 1 task_b Time.zero in
+  let seg =
+    {
+      Engine.t0 = Time.zero;
+      t1 = Time.of_units 1;
+      running =
+        [
+          { Engine.job = ja; region = Some { Fpga.Device.start = 0; width = 6 } };
+          { Engine.job = jb; region = Some { Fpga.Device.start = 4; width = 5 } };
+        ];
+      waiting = [];
+    }
+  in
+  let r = fabricate [ seg ] Engine.No_miss in
+  check_bool "overlap detected" true
+    (has_violation ~substring:"overlapping" (Trace.Checker.check ~fpga_area:20 r))
+
+let early_run_caught () =
+  let ja = job 0 0 task_a (Time.of_units 3) in
+  let seg =
+    {
+      Engine.t0 = Time.zero;
+      t1 = Time.of_units 1;
+      running = [ { Engine.job = ja; region = None } ];
+      waiting = [];
+    }
+  in
+  let r = fabricate [ seg ] Engine.No_miss in
+  check_bool "early execution detected" true
+    (has_violation ~substring:"before its release" (Trace.Checker.check ~fpga_area:10 r))
+
+let missed_deadline_unreported_caught () =
+  (* the job runs for 1 of its 2 units then disappears; no miss declared *)
+  let ja = job 0 0 task_a Time.zero in
+  let seg =
+    {
+      Engine.t0 = Time.zero;
+      t1 = Time.of_units 1;
+      running = [ { Engine.job = ja; region = None } ];
+      waiting = [];
+    }
+  in
+  let idle =
+    { Engine.t0 = Time.of_units 1; t1 = Time.of_units 6; running = []; waiting = [] }
+  in
+  let r = fabricate [ seg; idle ] Engine.No_miss in
+  check_bool "silent miss detected" true
+    (has_violation ~substring:"no miss declared" (Trace.Checker.check ~fpga_area:10 r))
+
+let nf_alpha_violation_caught () =
+  (* device 10, job b (area 5) waits while only job a (area 6) runs:
+     occupied 6 >= 10 - (5-1) = 6: fine.  Shrink the running job to
+     area... use task_b as runner (5) and task_a waiter (6):
+     occupied 5 < 10 - (6-1) = 5? 5 < 5 false: boundary holds.
+     Use a device of 12: occupied 5 < 12 - 5 = 7: violation. *)
+  let ja = job 0 0 task_a Time.zero and jb = job 1 1 task_b Time.zero in
+  let seg =
+    {
+      Engine.t0 = Time.zero;
+      t1 = Time.of_units 1;
+      running = [ { Engine.job = jb; region = None } ];
+      waiting = [ ja ];
+    }
+  in
+  let r = fabricate [ seg ] Engine.No_miss in
+  check_bool "lemma-2 violation detected" true
+    (Trace.Checker.check_nf_work_conserving ~fpga_area:12 r <> []);
+  check_bool "lemma-1 violation detected" true
+    (Trace.Checker.check_fkf_work_conserving ~fpga_area:12 ~amax:6 r <> [])
+
+(* --- gantt --- *)
+
+let gantt_renders () =
+  let cfg = Engine.default_config ~fpga_area:10 ~policy:Sim.Policy.edf_nf in
+  let cfg = { cfg with Engine.horizon = Time.of_units 10; record_trace = true } in
+  let r = Engine.run cfg simple_taskset in
+  let s = Trace.Gantt.render ~fpga_area:10 simple_taskset r in
+  check_bool "mentions task a" true (String.length s > 0 && String.sub s 0 1 = "a");
+  check_bool "has execution marks" true (String.contains s '#');
+  check_bool "reports no miss" true
+    (has_violation ~substring:"no deadline miss"
+       [ { Trace.Checker.at = Time.zero; what = s } ])
+
+let gantt_without_trace () =
+  let cfg = Engine.default_config ~fpga_area:10 ~policy:Sim.Policy.edf_nf in
+  let r = Engine.run { cfg with Engine.horizon = Time.of_units 10 } simple_taskset in
+  let s = Trace.Gantt.render ~fpga_area:10 simple_taskset r in
+  check_bool "explains missing trace" true
+    (has_violation ~substring:"record_trace" [ { Trace.Checker.at = Time.zero; what = s } ])
+
+let gantt_miss_marked () =
+  let bad = ts [ ("x", "6", "5", "5", 6); ("y", "6", "5", "5", 6) ] in
+  let cfg = Engine.default_config ~fpga_area:10 ~policy:Sim.Policy.edf_nf in
+  let cfg = { cfg with Engine.horizon = Time.of_units 10; record_trace = true } in
+  let r = Engine.run cfg bad in
+  let s = Trace.Gantt.render ~fpga_area:10 bad r in
+  check_bool "miss reported" true
+    (has_violation ~substring:"deadline miss" [ { Trace.Checker.at = Time.zero; what = s } ])
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "checker catches",
+        [
+          Alcotest.test_case "overcommitted area" `Quick overcommit_caught;
+          Alcotest.test_case "segment gap" `Quick gap_caught;
+          Alcotest.test_case "duplicate running job" `Quick duplicate_running_caught;
+          Alcotest.test_case "overlapping regions" `Quick overlapping_regions_caught;
+          Alcotest.test_case "execution before release" `Quick early_run_caught;
+          Alcotest.test_case "silent deadline miss" `Quick missed_deadline_unreported_caught;
+          Alcotest.test_case "work-conserving violations" `Quick nf_alpha_violation_caught;
+        ] );
+      ( "gantt",
+        [
+          Alcotest.test_case "renders schedule" `Quick gantt_renders;
+          Alcotest.test_case "explains missing trace" `Quick gantt_without_trace;
+          Alcotest.test_case "marks deadline miss" `Quick gantt_miss_marked;
+        ] );
+    ]
