@@ -116,9 +116,9 @@ let partitioned_vs_global () =
       let n = float_of_int (max 1 (List.length sets)) in
       let count f = float_of_int (List.length (List.filter f sets)) /. n in
       Printf.printf "%8.1f %14.3f %18.3f %12.3f\n" target
-        (count (Core.Partitioned.accepts ~fpga_area))
+        (count (fun ts -> Core.Partitioned.accepts ~fpga_area ts))
         (count (Core.Composite.edf_nf_any ~fpga_area))
-        (count (sim_accept ~policy:Policy.edf_nf)))
+        (count (fun ts -> sim_accept ~policy:Policy.edf_nf ts)))
     [ 20.0; 30.0; 40.0; 55.0; 70.0 ]
 
 (* --- reconfiguration overhead --- *)
@@ -172,7 +172,7 @@ let edf_us () =
   List.iter
     (fun (name, policy) ->
       Printf.printf "%24s: %.3f\n" name
-        (float_of_int (List.length (List.filter (sim_accept ~policy) sets)) /. n))
+        (float_of_int (List.length (List.filter (fun ts -> sim_accept ~policy ts) sets)) /. n))
     policies
 
 (* --- 2-D reconfiguration (Section 7) --- *)

@@ -1,0 +1,239 @@
+module Time = Model.Time
+module Taskset = Model.Taskset
+module Engine = Sim.Engine
+
+type scheduler = Edf_nf | Edf_fkf
+
+let scheduler_name = function Edf_nf -> "EDF-NF" | Edf_fkf -> "EDF-FkF"
+let policy_of = function Edf_nf -> Sim.Policy.edf_nf | Edf_fkf -> Sim.Policy.edf_fkf
+
+type analyzer = {
+  name : string;
+  decide : fpga_area:int -> Model.Taskset.t -> Core.Verdict.t;
+  sound_for : scheduler list;
+}
+
+(* DP proves EDF-FkF schedulability and, by Danne's dominance theorem,
+   EDF-NF; GN1 proves EDF-NF (Theorem 2); GN2 proves EDF-FkF and,
+   explicitly by Theorem 3, EDF-NF. *)
+let dp = { name = "DP"; decide = Core.Dp.decide; sound_for = [ Edf_fkf; Edf_nf ] }
+let gn1 = { name = "GN1"; decide = Core.Gn1.decide; sound_for = [ Edf_nf ] }
+let gn2 = { name = "GN2"; decide = Core.Gn2.decide; sound_for = [ Edf_fkf; Edf_nf ] }
+let paper_analyzers = [ dp; gn1; gn2 ]
+
+let always_accept ~name ~sound_for =
+  let decide ~fpga_area:_ ts =
+    let checks =
+      List.mapi
+        (fun i _ ->
+          {
+            Core.Verdict.task_index = i;
+            satisfied = true;
+            lhs = Rat.zero;
+            rhs = Rat.zero;
+            note = "unconditional accept (unsound stub)";
+          })
+        (Taskset.to_list ts)
+    in
+    Core.Verdict.make ~test_name:name ~checks
+  in
+  { name; decide; sound_for }
+
+type finding = {
+  severity : Diagnostic.severity;
+  rule : string;
+  analyzer : string option;
+  scheduler : scheduler option;
+  detail : string;
+  counterexample : Model.Taskset.t option;
+}
+
+let fixture f = Option.map Taskset.to_csv f.counterexample
+
+let to_diagnostic f =
+  let context =
+    (match f.analyzer with Some a -> [ a ] | None -> [])
+    @ (match f.scheduler with Some s -> [ scheduler_name s ] | None -> [])
+  in
+  let prefix = match context with [] -> "" | l -> String.concat "/" l ^ ": " in
+  let message =
+    match fixture f with
+    | None -> prefix ^ f.detail
+    | Some csv -> prefix ^ f.detail ^ "; minimal counterexample:\n" ^ csv
+  in
+  { Diagnostic.severity = f.severity; rule = f.rule; task_index = None; message }
+
+type config = {
+  fpga_area : int;
+  horizon_cap : Model.Time.t;
+  sporadic_seed : int option;
+  shrink : bool;
+}
+
+let default_config ~fpga_area =
+  { fpga_area; horizon_cap = Time.of_units 10_000; sporadic_seed = Some 97; shrink = true }
+
+(* --- simulation helpers --- *)
+
+type release = Synchronous | Sporadic of int
+
+let release_name = function
+  | Synchronous -> "synchronous"
+  | Sporadic seed -> Printf.sprintf "sporadic (seed %d)" seed
+
+let horizon_of config ts =
+  match Taskset.hyperperiod ~cap:config.horizon_cap ts with
+  | Taskset.Finite h -> (h, false)
+  | Taskset.Exceeds_cap -> (config.horizon_cap, true)
+
+let simulate config ~record scheduler release ts =
+  let horizon, truncated = horizon_of config ts in
+  let cfg = Engine.default_config ~fpga_area:config.fpga_area ~policy:(policy_of scheduler) in
+  let cfg =
+    {
+      cfg with
+      Engine.horizon;
+      record_trace = record;
+      release =
+        (match release with
+         | Synchronous -> Engine.Synchronous
+         | Sporadic seed -> Engine.Sporadic { seed; max_delay = Time.of_units 3 });
+    }
+  in
+  (Engine.run cfg ts, truncated)
+
+let misses config scheduler release ts =
+  match (simulate config ~record:false scheduler release ts : Engine.result * bool) with
+  | { Engine.outcome = Engine.Miss m; _ }, _ -> Some m
+  | { Engine.outcome = Engine.No_miss; _ }, _ -> None
+
+(* --- counterexample shrinking --- *)
+
+let shrink_counterexample ~exhibits ts =
+  let drop_task ts i =
+    Taskset.of_list (List.filteri (fun j _ -> j <> i) (Taskset.to_list ts))
+  in
+  let halve_exec ts i =
+    let tasks = Taskset.to_list ts in
+    Taskset.of_list
+      (List.mapi
+         (fun j (t : Model.Task.t) ->
+           if j <> i then t
+           else { t with Model.Task.exec = Time.of_ticks (max 1 (Time.ticks t.exec / 2)) })
+         tasks)
+  in
+  (* greedily apply the first candidate that still exhibits the failure,
+     restarting until no candidate applies; candidate lists are finite
+     and each step strictly shrinks (fewer tasks or fewer exec ticks),
+     so this terminates *)
+  let step ts =
+    let n = Taskset.size ts in
+    let candidates =
+      (if n > 1 then List.init n (fun i () -> drop_task ts i) else [])
+      @ List.init n (fun i () ->
+            if Time.ticks (Taskset.nth ts i).Model.Task.exec > 1 then halve_exec ts i else ts)
+    in
+    List.find_map
+      (fun make ->
+        let candidate = make () in
+        if (not (Taskset.equal candidate ts)) && exhibits candidate then Some candidate else None)
+      candidates
+  in
+  let rec fix ts = match step ts with None -> ts | Some smaller -> fix smaller in
+  fix ts
+
+(* --- the audit --- *)
+
+let finding ?(severity = Diagnostic.Error) ?analyzer ?scheduler ?counterexample ~rule detail =
+  { severity; rule; analyzer; scheduler; detail; counterexample }
+
+let severity_rank f = match f.severity with Diagnostic.Error -> 0 | Warning -> 1 | Info -> 2
+
+let trace_findings config scheduler ts =
+  let result, _ = simulate config ~record:true scheduler Synchronous ts in
+  let physical = Trace.Checker.check ~fpga_area:config.fpga_area result in
+  let lemma =
+    match scheduler with
+    | Edf_nf -> Trace.Checker.check_nf_work_conserving ~fpga_area:config.fpga_area result
+    | Edf_fkf ->
+      Trace.Checker.check_fkf_work_conserving ~fpga_area:config.fpga_area ~amax:(Taskset.amax ts)
+        result
+  in
+  let summarize rule what = function
+    | [] -> []
+    | v :: _ as vs ->
+      [
+        finding ~scheduler ~rule
+          (Format.asprintf "%s on the recorded trace (%d total), first: %a" what (List.length vs)
+             Trace.Checker.pp_violation v);
+      ]
+  in
+  summarize "trace-invariant-violation" "physical invariant violated" physical
+  @ summarize "work-conserving-violation"
+      (match scheduler with
+       | Edf_nf -> "Lemma 2 occupancy floor violated"
+       | Edf_fkf -> "Lemma 1 occupancy floor violated")
+      lemma
+
+let unsoundness_findings config analyzers ts =
+  let releases =
+    Synchronous :: (match config.sporadic_seed with None -> [] | Some s -> [ Sporadic s ])
+  in
+  List.concat_map
+    (fun analyzer ->
+      if not (Core.Verdict.accepted (analyzer.decide ~fpga_area:config.fpga_area ts)) then []
+      else
+        List.concat_map
+          (fun scheduler ->
+            List.concat_map
+              (fun release ->
+                match misses config scheduler release ts with
+                | None -> []
+                | Some m ->
+                  let exhibits candidate =
+                    Taskset.fits candidate ~fpga_area:config.fpga_area
+                    && Core.Verdict.accepted (analyzer.decide ~fpga_area:config.fpga_area candidate)
+                    && misses config scheduler release candidate <> None
+                  in
+                  let counterexample =
+                    if config.shrink then shrink_counterexample ~exhibits ts else ts
+                  in
+                  [
+                    finding ~analyzer:analyzer.name ~scheduler ~counterexample
+                      ~rule:"unsound-accept"
+                      (Format.asprintf
+                         "ACCEPT but task %d misses its deadline at t=%a under %s release"
+                         (m.Engine.task_index + 1) Time.pp m.Engine.at (release_name release));
+                  ])
+              releases)
+          analyzer.sound_for)
+    analyzers
+
+let audit ?(analyzers = paper_analyzers) config ts =
+  if not (Taskset.fits ts ~fpga_area:config.fpga_area) then
+    [
+      finding ~severity:Diagnostic.Info ~rule:"simulation-skipped"
+        "a task is wider than the device; every analyzer rejects vacuously and nothing can be \
+         simulated";
+    ]
+  else begin
+    let _, truncated = horizon_of config ts in
+    let truncation =
+      if truncated then
+        [
+          finding ~severity:Diagnostic.Info ~rule:"simulation-truncated"
+            (Format.asprintf
+               "hyper-period exceeds the cap; simulated [0, %a] only, so a clean audit is not a \
+                complete synchronous-case certificate"
+               Time.pp config.horizon_cap);
+        ]
+      else []
+    in
+    let findings =
+      unsoundness_findings config analyzers ts
+      @ trace_findings config Edf_nf ts
+      @ trace_findings config Edf_fkf ts
+      @ truncation
+    in
+    List.stable_sort (fun a b -> Int.compare (severity_rank a) (severity_rank b)) findings
+  end

@@ -1,0 +1,57 @@
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  rule : string;
+  task_index : int option;
+  message : string;
+}
+
+let make severity ?task_index ~rule message = { severity; rule; task_index; message }
+let error ?task_index ~rule message = make Error ?task_index ~rule message
+let warning ?task_index ~rule message = make Warning ?task_index ~rule message
+let info ?task_index ~rule message = make Info ?task_index ~rule message
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let compare_severity a b = Int.compare (severity_rank a) (severity_rank b)
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let has_warnings ds = List.exists (fun d -> d.severity = Warning) ds
+
+let by_severity ds =
+  List.stable_sort (fun a b -> compare_severity a.severity b.severity) ds
+
+let pp fmt d =
+  match d.task_index with
+  | Some i -> Format.fprintf fmt "%s[%s] task %d: %s" (severity_name d.severity) d.rule (i + 1) d.message
+  | None -> Format.fprintf fmt "%s[%s]: %s" (severity_name d.severity) d.rule d.message
+
+(* minimal sexp string escaping: always quote the message atom *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_sexp fmt d =
+  Format.fprintf fmt "((severity %s) (rule %s)" (severity_name d.severity) d.rule;
+  (match d.task_index with
+   | Some i -> Format.fprintf fmt " (task %d)" (i + 1)
+   | None -> ());
+  Format.fprintf fmt " (message \"%s\"))" (escape d.message)
+
+let pp_list fmt ds = List.iter (fun d -> Format.fprintf fmt "%a@," pp d) ds
+
+let pp_sexp_list fmt ds =
+  Format.fprintf fmt "@[<v 1>(diagnostics";
+  List.iter (fun d -> Format.fprintf fmt "@,%a" pp_sexp d) ds;
+  Format.fprintf fmt ")@]"

@@ -1,0 +1,100 @@
+module Time = Model.Time
+module Task = Model.Task
+
+let default_hyperperiod_cap = Time.of_ticks 10_000_000
+
+(* necessary feasibility conditions are already computed by the core
+   library; surface them as diagnostics rather than re-deriving them *)
+let of_feasibility ~fpga_area ts =
+  List.map
+    (fun v ->
+      let message = Format.asprintf "%a" Core.Feasibility.pp_violation v in
+      match v with
+      | Core.Feasibility.Exec_exceeds_window i ->
+        Diagnostic.error ~task_index:i ~rule:"exec-exceeds-window"
+          (message ^ ": every job of the task necessarily misses its deadline")
+      | Core.Feasibility.Device_overloaded _ ->
+        Diagnostic.error ~rule:"device-overloaded" message
+      | Core.Feasibility.Clique_overloaded _ ->
+        Diagnostic.error ~rule:"exclusion-clique-overload" message)
+    (Core.Feasibility.check ~fpga_area ts)
+
+let per_task ~fpga_area ts =
+  let tasks = Model.Taskset.to_array ts in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  Array.iteri
+    (fun i (t : Task.t) ->
+      if t.area > fpga_area then
+        add
+          (Diagnostic.error ~task_index:i ~rule:"task-wider-than-device"
+             (Printf.sprintf
+                "area %d exceeds A(H)=%d; DP, GN1 and GN2 all reject vacuously (Verdict.reject_all)"
+                t.area fpga_area));
+      if Time.(t.deadline > t.period) then
+        add
+          (Diagnostic.warning ~task_index:i ~rule:"deadline-exceeds-period"
+             (Format.asprintf
+                "deadline %a exceeds period %a (unconstrained deadline); the tests stay sound but pessimistic"
+                Time.pp t.deadline Time.pp t.period));
+      if Time.equal t.exec t.period then
+        add
+          (Diagnostic.warning ~task_index:i ~rule:"degenerate-utilization"
+             (Format.asprintf
+                "C = T = %a: utilization is exactly 1, the task permanently occupies %d columns"
+                Time.pp t.period t.area));
+      let ut = Task.time_utilization t in
+      if Rat.compare ut (Rat.of_ints 1 1000) < 0 then
+        add
+          (Diagnostic.info ~task_index:i ~rule:"negligible-utilization"
+             (Format.asprintf "time utilization %a is below 1/1000; possible unit mistake"
+                Rat.pp_approx ut));
+      if t.name = "" then
+        add (Diagnostic.info ~task_index:i ~rule:"empty-task-name" "task has no name"))
+    tasks;
+  List.rev !diags
+
+let duplicate_names ts =
+  let seen = Hashtbl.create 16 in
+  List.concat
+    (List.mapi
+       (fun i (t : Task.t) ->
+         if t.name = "" then []
+         else
+           match Hashtbl.find_opt seen t.name with
+           | Some first ->
+             [
+               Diagnostic.warning ~task_index:i ~rule:"duplicate-task-name"
+                 (Printf.sprintf "name %S already used by task %d" t.name (first + 1));
+             ]
+           | None ->
+             Hashtbl.add seen t.name i;
+             [])
+       (Model.Taskset.to_list ts))
+
+let whole_set ~hyperperiod_cap ts =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  if Model.Taskset.size ts = 1 then
+    add
+      (Diagnostic.info ~rule:"single-task"
+         "single-task set: the interference-based tests are vacuous (any C <= min(D,T) task is accepted)");
+  (match Model.Taskset.hyperperiod ~cap:hyperperiod_cap ts with
+   | Model.Taskset.Finite _ -> ()
+   | Model.Taskset.Exceeds_cap ->
+     add
+       (Diagnostic.info ~rule:"hyperperiod-exceeds-cap"
+          (Format.asprintf
+             "hyper-period exceeds %a time units; simulation-backed audits will be truncated"
+             Time.pp hyperperiod_cap)));
+  List.rev !diags
+
+let lint ?(hyperperiod_cap = default_hyperperiod_cap) ~fpga_area ts =
+  Diagnostic.by_severity
+    (of_feasibility ~fpga_area ts
+    @ per_task ~fpga_area ts
+    @ duplicate_names ts
+    @ whole_set ~hyperperiod_cap ts)
+
+let clean ?(strict = false) ds =
+  (not (Diagnostic.has_errors ds)) && not (strict && Diagnostic.has_warnings ds)

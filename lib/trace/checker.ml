@@ -98,36 +98,28 @@ let check ~fpga_area result =
     jobs;
   List.rev !violations
 
-let check_nf_work_conserving ~fpga_area result =
-  let violations = ref [] in
-  List.iter
+let check_work_conserving ~violations_of result =
+  List.concat_map
     (fun (seg : Engine.segment) ->
       let occupied = List.fold_left (fun acc p -> acc + Sim.Job.area p.Engine.job) 0 seg.running in
-      List.iter
+      List.map (violation seg.t0) (violations_of ~occupied ~waiting:seg.waiting))
+    result.Engine.segments
+
+let check_nf_work_conserving ~fpga_area result =
+  check_work_conserving result ~violations_of:(fun ~occupied ~waiting ->
+      List.filter_map
         (fun j ->
           let ak = Sim.Job.area j in
           if occupied < fpga_area - (ak - 1) then
-            violations :=
-              violation seg.t0
-                (Printf.sprintf
-                   "waiting job with area %d while only %d columns busy (Lemma 2 violated)" ak
-                   occupied)
-              :: !violations)
-        seg.waiting)
-    result.Engine.segments;
-  List.rev !violations
+            Some
+              (Printf.sprintf
+                 "waiting job with area %d while only %d columns busy (Lemma 2 violated)" ak
+                 occupied)
+          else None)
+        waiting)
 
 let check_fkf_work_conserving ~fpga_area ~amax result =
-  let violations = ref [] in
-  List.iter
-    (fun (seg : Engine.segment) ->
-      if seg.waiting <> [] then begin
-        let occupied = List.fold_left (fun acc p -> acc + Sim.Job.area p.Engine.job) 0 seg.running in
-        if occupied < fpga_area - (amax - 1) then
-          violations :=
-            violation seg.t0
-              (Printf.sprintf "only %d columns busy under contention (Lemma 1 violated)" occupied)
-            :: !violations
-      end)
-    result.Engine.segments;
-  List.rev !violations
+  check_work_conserving result ~violations_of:(fun ~occupied ~waiting ->
+      if waiting <> [] && occupied < fpga_area - (amax - 1) then
+        [ Printf.sprintf "only %d columns busy under contention (Lemma 1 violated)" occupied ]
+      else [])

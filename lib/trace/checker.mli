@@ -25,6 +25,16 @@ val check : fpga_area:int -> Sim.Engine.result -> violation list
     - a miss-free trace serves every job whose deadline falls inside the
       traced window fully by that deadline. *)
 
+val check_work_conserving :
+  violations_of:(occupied:int -> waiting:Sim.Job.t list -> string list) ->
+  Sim.Engine.result ->
+  violation list
+(** Generic work-conserving audit: for every segment, [violations_of] is
+    given the occupied area and the waiting queue and returns one message
+    per violated occupancy-floor rule; each becomes a {!violation} at the
+    segment start.  Lemmas 1 and 2 below are instances; the audit library
+    uses this directly to express custom alpha-work-conserving rules. *)
+
 val check_nf_work_conserving : fpga_area:int -> Sim.Engine.result -> violation list
 (** Lemma 2 specifically: in every segment, each waiting job [J_k] sees
     occupied area at least [A(H) - (A_k - 1)].  Only meaningful for

@@ -39,6 +39,82 @@ An infeasible taskset is refuted and reported:
   $ redf analyze bad.csv --area 100 > /dev/null 2>&1; echo "exit $?"
   exit 2
 
+The paper's tasksets lint and audit clean (Table 1 shown; the full
+corpus is covered by `dune build @lint`):
+
+  $ cat > table1.csv <<'CSV'
+  > name,C,D,T,A
+  > tau1,1.26,7,7,9
+  > tau2,0.95,5,5,6
+  > CSV
+  $ redf lint table1.csv --area 10; echo "exit $?"
+  lint: clean
+  exit 0
+  $ redf audit table1.csv --area 10; echo "exit $?"
+  audit: clean
+  exit 0
+
+A malformed taskset fails lint with a nonzero status, in both output
+forms:
+
+  $ echo garbage > malformed.csv
+  $ redf lint malformed.csv; echo "exit $?"
+  error[taskset-parse]: Taskset.of_csv: bad header
+  lint: 1 error, 0 warnings, 0 infos
+  exit 2
+  $ redf lint malformed.csv --sexp; echo "exit $?"
+  (diagnostics
+   ((severity error) (rule taskset-parse) (message "Taskset.of_csv: bad header")))
+  exit 2
+
+Lint diagnostics are severity-tagged and task-indexed:
+
+  $ cat > messy.csv <<'CSV'
+  > name,C,D,T,A
+  > a,9,10,10,60
+  > a,2,12,10,30
+  > CSV
+  $ redf lint messy.csv --area 80; echo "exit $?"
+  error[exclusion-clique-overload]: mutually-exclusive tasks {1,2} demand 1.1000 > 1 of a serial resource
+  warning[deadline-exceeds-period] task 2: deadline 12 exceeds period 10 (unconstrained deadline); the tests stay sound but pessimistic
+  warning[duplicate-task-name] task 2: name "a" already used by task 1
+  lint: 1 error, 2 warnings, 0 infos
+  exit 2
+
+The consistency auditor flags an unsound analyzer: three tasks that
+pass every lint rule but cannot all be served (only two fit at once),
+so the injected ALWAYS-ACCEPT stub's verdict contradicts the observed
+misses under both schedulers and both release patterns:
+
+  $ cat > contended.csv <<'CSV'
+  > name,C,D,T,A
+  > a,4,5,5,4
+  > b,4,5,5,4
+  > c,4,5,5,4
+  > CSV
+  $ redf lint contended.csv --area 10; echo "exit $?"
+  lint: clean
+  exit 0
+  $ redf audit contended.csv --area 10; echo "exit $?"
+  audit: clean
+  exit 0
+  $ redf audit contended.csv --area 10 --inject-unsound --sexp | grep -c unsound-accept
+  4
+  $ redf audit contended.csv --area 10 --inject-unsound > /dev/null; echo "exit $?"
+  exit 2
+
+Unsound accepts come with a shrunk counterexample, emitted as a
+regression fixture:
+
+  $ mkdir fixtures
+  $ redf audit contended.csv --area 10 --inject-unsound --fixture-dir fixtures > /dev/null 2>&1
+  [2]
+  $ cat fixtures/counterexample-0-always-accept.csv
+  name,C,D,T,A
+  a,2,5,5,4
+  b,2,5,5,4
+  c,4,5,5,4
+
 The no-critical-instant witness:
 
   $ cat > witness.csv <<'CSV'

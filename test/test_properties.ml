@@ -170,6 +170,40 @@ let prop_width1_gfb =
         (fun m -> Core.Verdict.accepted (Core.Multiproc.gfb ~m ts) = Core.Multiproc.gfb_direct ~m ts)
         [ 1; 2; 3; 5 ])
 
+(* The audit subsystem on the same generators: the consistency auditor
+   must never find an inconsistency among the real analyzers and the
+   simulator (this routes every generated taskset through the full
+   lint + cross-analyzer audit), and the linter must stay consistent
+   with the feasibility checker it surfaces. *)
+let audit_config =
+  { (Audit.Consistency.default_config ~fpga_area) with Audit.Consistency.shrink = false }
+
+let no_inconsistency ts =
+  List.for_all
+    (fun (f : Audit.Consistency.finding) ->
+      f.Audit.Consistency.severity = Audit.Diagnostic.Info)
+    (Audit.Consistency.audit audit_config ts)
+
+let prop_auditor_light = Core_helpers.qtest ~count:200 "auditor: no inconsistency (light sets)" light_taskset_gen no_inconsistency
+
+let prop_auditor_heavy =
+  Core_helpers.qtest ~count:200 "auditor: no inconsistency (unbiased sets)" taskset_gen
+    no_inconsistency
+
+let prop_lint_matches_feasibility =
+  Core_helpers.qtest ~count:300 "lint errors iff infeasible or oversized" taskset_gen (fun ts ->
+      let errors = Audit.Diagnostic.has_errors (Audit.Lint.lint ~fpga_area ts) in
+      let infeasible =
+        Core.Feasibility.check ~fpga_area ts <> [] || not (Model.Taskset.fits ts ~fpga_area)
+      in
+      errors = infeasible)
+
+let prop_driver_clean_implies_accept_safe =
+  Core_helpers.qtest ~count:100 "driver report agrees with its diagnostics" light_taskset_gen
+    (fun ts ->
+      let report = Audit.Driver.run ~config:audit_config ~fpga_area ts in
+      Audit.Driver.exit_code report = if Audit.Driver.clean report then 0 else 2)
+
 (* Partitioned acceptance implies global EDF-NF schedulability in
    simulation: a partitioned schedule is a legal (non-work-conserving)
    witness, and EDF-NF with migration does at least as well in practice on
@@ -206,4 +240,11 @@ let () =
         [ prop_traces_valid; prop_checker_agrees_with_flag; prop_sim_deterministic ] );
       ( "test relationships",
         [ prop_gn1_forms_ordered; prop_dp_forms_ordered; prop_width1_gfb; prop_partitioned_sound ] );
+      ( "audit",
+        [
+          prop_auditor_light;
+          prop_auditor_heavy;
+          prop_lint_matches_feasibility;
+          prop_driver_clean_implies_accept_safe;
+        ] );
     ]

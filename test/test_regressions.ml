@@ -10,7 +10,6 @@
    the strict form must reject it, and the simulator must observe the
    miss. *)
 
-module Time = Model.Time
 module Engine = Sim.Engine
 
 let check_bool = Alcotest.(check bool)
