@@ -10,6 +10,18 @@ let int_env name default =
   | None -> default
 
 let samples = int_env "REDF_SAMPLES" 300
+
+(* worker domains for the parallelised passes; 0 means one per core.
+   (stdlib [Domain] rather than the parallel library: inside this
+   executable the name [Parallel] is the benchmark module below.) *)
+let jobs =
+  match Sys.getenv_opt "REDF_JOBS" with
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some 0 -> Domain.recommended_domain_count ()
+    | Some n when n > 0 -> n
+    | _ -> 1)
+  | None -> 1
 (* simulation horizon in time units; the paper simulates "to the
    hyper-period", which is astronomically large for random periods, so
    any practical run truncates (see EXPERIMENTS.md) *)
@@ -32,3 +44,21 @@ let write_file path contents =
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* Progress on stderr, throttled to whole-percent steps and emitted as a
+   single [output_string] + flush so concurrent completions from worker
+   domains never interleave mid-line.  The Sweep/Pool progress contract
+   serializes callbacks, so [last] needs no lock. *)
+let progress_printer label =
+  let last = ref (-1) in
+  fun done_ total ->
+    let pct = if total <= 0 then 100 else done_ * 100 / total in
+    if pct > !last || done_ >= total then begin
+      last := pct;
+      output_string stderr (Printf.sprintf "\r%s: %d/%d" label done_ total);
+      flush stderr
+    end
+
+let clear_progress () =
+  output_string stderr ("\r" ^ String.make 40 ' ' ^ "\r");
+  flush stderr

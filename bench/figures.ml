@@ -59,7 +59,7 @@ let n_sweep () =
           sim_horizon = Bench_env.horizon;
         }
       in
-      let t = Experiment.Sweep.run cfg in
+      let t = Experiment.Sweep.run ~jobs:Bench_env.jobs cfg in
       match t.Experiment.Sweep.points with
       | [ p ] ->
         let idx name =
@@ -81,8 +81,8 @@ let n_sweep () =
 let run () =
   Bench_env.section "Figures 3-4: acceptance ratio vs total system utilization";
   Printf.printf
-    "samples/point = %d (REDF_SAMPLES), sim horizon = %d units (REDF_HORIZON), seed = %d\n"
-    Bench_env.samples Bench_env.horizon_units Bench_env.seed;
+    "samples/point = %d (REDF_SAMPLES), sim horizon = %d units (REDF_HORIZON), seed = %d, jobs = %d (REDF_JOBS)\n"
+    Bench_env.samples Bench_env.horizon_units Bench_env.seed Bench_env.jobs;
   List.iter
     (fun figure ->
       let cfg =
@@ -90,12 +90,9 @@ let run () =
           ~sim_horizon:Bench_env.horizon figure
       in
       let t0 = Unix.gettimeofday () in
-      let progress done_ total =
-        Printf.eprintf "\r%s: %d/%d points" (Experiment.Figures.id figure) done_ total;
-        flush stderr
-      in
-      let result = Experiment.Sweep.run ~progress cfg in
-      Printf.eprintf "\r%*s\r" 40 "";
+      let progress = Bench_env.progress_printer (Experiment.Figures.id figure) in
+      let result = Experiment.Sweep.run ~progress ~jobs:Bench_env.jobs cfg in
+      Bench_env.clear_progress ();
       Printf.printf "\n%s  (%.1f s)\n\n" (Experiment.Figures.caption figure)
         (Unix.gettimeofday () -. t0);
       print_string (Experiment.Sweep.to_table result);

@@ -7,6 +7,7 @@
      REDF_SAMPLES     tasksets per utilization point   (default 300)
      REDF_HORIZON     simulation horizon in time units (default 500)
      REDF_SEED        master PRNG seed                 (default 42)
+     REDF_JOBS        worker domains, 0 = one per core (default 1)
      REDF_SKIP_MICRO  skip the Bechamel micro-benchmarks
 
    Paper scale is REDF_SAMPLES=10000; see EXPERIMENTS.md. *)
@@ -17,6 +18,7 @@ let () =
   Tables.run ();
   Figures.run ();
   Ablations.run ();
+  Parallel.run ();
   Micro.run ();
   print_newline ();
   print_endline "done; CSV series in ./results/, interpretation in EXPERIMENTS.md"

@@ -43,6 +43,34 @@ let horizon_arg =
     value & opt int 1000
     & info [ "horizon" ] ~docv:"UNITS" ~doc:"Simulation horizon in time units.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Parallel.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel execution: a positive count, or 0 for one per core. \
+           Defaults to $(b,REDF_JOBS) (same convention), else 1 (serial). Output is \
+           byte-identical for every $(docv).")
+
+(* progress printer shared by the parallel-capable subcommands: called
+   from worker domains (already serialized and monotonic, see
+   Experiment.Sweep.run), so each update must land as one write *)
+let progress_printer () =
+  let last_pct = ref (-1) in
+  fun done_ total ->
+    let pct = done_ * 100 / max 1 total in
+    if pct > !last_pct || done_ = total then begin
+      last_pct := pct;
+      let line = Printf.sprintf "\r%d/%d tasksets (%d%%)" done_ total pct in
+      output_string stderr line;
+      flush stderr
+    end
+
+let clear_progress () =
+  output_string stderr (Printf.sprintf "\r%*s\r" 40 "");
+  flush stderr
+
 (* --- lint / audit --- *)
 
 let sexp_arg =
@@ -95,49 +123,74 @@ let lint_cmd =
   Cmd.v info term
 
 let audit_cmd =
-  let run path fpga_area sexp strict cap_units seed inject_unsound no_shrink fixture_dir =
-    match load_taskset path with
-    | Error msg -> parse_failure ~label:"audit" ~sexp msg
-    | Ok ts ->
-      let config =
-        {
-          (Audit.Consistency.default_config ~fpga_area) with
-          Audit.Consistency.horizon_cap = Model.Time.of_units cap_units;
-          sporadic_seed = seed;
-          shrink = not no_shrink;
-        }
-      in
-      let analyzers =
-        Audit.Consistency.paper_analyzers
-        @
-        if inject_unsound then
-          [
-            Audit.Consistency.always_accept ~name:"ALWAYS-ACCEPT"
-              ~sound_for:[ Audit.Consistency.Edf_nf; Audit.Consistency.Edf_fkf ];
-          ]
-        else []
-      in
-      let report = Audit.Driver.run ~analyzers ~config ~fpga_area ts in
-      print_report ~label:"audit" ~sexp report;
-      (match fixture_dir with
-       | None -> ()
-       | Some dir ->
-         List.iteri
-           (fun i f ->
-             match Audit.Consistency.fixture f with
+  let run paths fpga_area sexp strict cap_units seed inject_unsound no_shrink fixture_dir jobs =
+    let config =
+      {
+        (Audit.Consistency.default_config ~fpga_area) with
+        Audit.Consistency.horizon_cap = Model.Time.of_units cap_units;
+        sporadic_seed = seed;
+        shrink = not no_shrink;
+      }
+    in
+    let analyzers =
+      Audit.Consistency.paper_analyzers
+      @
+      if inject_unsound then
+        [
+          Audit.Consistency.always_accept ~name:"ALWAYS-ACCEPT"
+            ~sound_for:[ Audit.Consistency.Edf_nf; Audit.Consistency.Edf_fkf ];
+        ]
+      else []
+    in
+    let multi = List.length paths > 1 in
+    (* one taskset: fan the audit units out; several tasksets: one
+       domain per taskset (each audit serial).  Either way the reports
+       are deterministic and printed in argument order. *)
+    let audit_one inner_jobs path =
+      match load_taskset path with
+      | Error msg -> Error msg
+      | Ok ts -> Ok (Audit.Driver.run ~analyzers ~config ~jobs:inner_jobs ~fpga_area ts)
+    in
+    let results =
+      if multi then
+        Array.to_list (Parallel.parallel_map ~jobs (audit_one 1) (Array.of_list paths))
+      else List.map (audit_one jobs) paths
+    in
+    let codes =
+      List.map2
+        (fun path result ->
+          let label = if multi then "audit " ^ Filename.basename path else "audit" in
+          match result with
+          | Error msg -> parse_failure ~label ~sexp msg
+          | Ok report ->
+            print_report ~label ~sexp report;
+            (match fixture_dir with
              | None -> ()
-             | Some csv ->
-               let name =
-                 Printf.sprintf "counterexample-%d-%s.csv" i
-                   (String.lowercase_ascii (Option.value f.Audit.Consistency.analyzer ~default:"x"))
-               in
-               let path = Filename.concat dir name in
-               let oc = open_out path in
-               output_string oc csv;
-               close_out oc;
-               Printf.eprintf "wrote regression fixture %s\n" path)
-           report.Audit.Driver.findings);
-      Audit.Driver.exit_code ~strict report
+             | Some dir ->
+               List.iteri
+                 (fun i f ->
+                   match Audit.Consistency.fixture f with
+                   | None -> ()
+                   | Some csv ->
+                     let name =
+                       Printf.sprintf "%scounterexample-%d-%s.csv"
+                         (if multi then
+                            Filename.remove_extension (Filename.basename path) ^ "-"
+                          else "")
+                         i
+                         (String.lowercase_ascii
+                            (Option.value f.Audit.Consistency.analyzer ~default:"x"))
+                     in
+                     let fixture_path = Filename.concat dir name in
+                     let oc = open_out fixture_path in
+                     output_string oc csv;
+                     close_out oc;
+                     Printf.eprintf "wrote regression fixture %s\n" fixture_path)
+                 report.Audit.Driver.findings);
+            Audit.Driver.exit_code ~strict report)
+        paths results
+    in
+    List.fold_left max 0 codes
   in
   let cap_arg =
     Arg.(
@@ -170,10 +223,16 @@ let audit_cmd =
       & info [ "fixture-dir" ] ~docv:"DIR"
           ~doc:"Write each shrunk counterexample as a regression-fixture CSV into $(docv).")
   in
+  let tasksets_arg =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"TASKSET.csv" ~doc:"Taskset files (header name,C,D,T,A).")
+  in
   let term =
     Term.(
-      const run $ taskset_arg $ area_arg $ sexp_arg $ strict_arg $ cap_arg $ seed_opt_arg
-      $ inject_arg $ no_shrink_arg $ fixture_dir_arg)
+      const run $ tasksets_arg $ area_arg $ sexp_arg $ strict_arg $ cap_arg $ seed_opt_arg
+      $ inject_arg $ no_shrink_arg $ fixture_dir_arg $ jobs_arg)
   in
   let info =
     Cmd.info "audit"
@@ -188,7 +247,10 @@ let audit_cmd =
              covers EDF-NF; Theorem 3 makes GN2-ACCEPT imply EDF-NF schedulability) is a hard \
              error, and every recorded trace must satisfy the Lemma 1 / Lemma 2 occupancy \
              floors and the physical trace invariants. Counterexamples are shrunk to minimal \
-             tasksets. Exit status 0 when clean, 2 otherwise.";
+             tasksets. Several tasksets can be audited in one invocation; with $(b,-j) the \
+             audits fan out over worker domains (one domain per taskset, or across the \
+             analyzer/scheduler/release units of a single taskset) with deterministic, \
+             order-preserving output. Exit status 0 when every taskset is clean, 2 otherwise.";
         ]
   in
   Cmd.v info term
@@ -360,7 +422,7 @@ let generate_cmd =
 (* --- sweep --- *)
 
 let sweep_cmd =
-  let run figure_name samples seed horizon csv =
+  let run figure_name samples seed horizon csv jobs =
     match
       List.find_opt (fun f -> Experiment.Figures.id f = figure_name) Experiment.Figures.all
     with
@@ -372,12 +434,8 @@ let sweep_cmd =
         Experiment.Figures.config ~samples ~seed
           ~sim_horizon:(Model.Time.of_units horizon) figure
       in
-      let progress done_ total =
-        Printf.eprintf "\r%d/%d points" done_ total;
-        flush stderr
-      in
-      let result = Experiment.Sweep.run ~progress cfg in
-      Printf.eprintf "\r%*s\r" 20 "";
+      let result = Experiment.Sweep.run ~progress:(progress_printer ()) ~jobs cfg in
+      clear_progress ();
       print_endline (Experiment.Figures.caption figure);
       if csv then print_string (Experiment.Sweep.to_csv result)
       else begin
@@ -397,13 +455,15 @@ let sweep_cmd =
     Arg.(value & opt int 300 & info [ "samples" ] ~docv:"N" ~doc:"Tasksets per utilization point.")
   in
   let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
-  let term = Term.(const run $ figure_arg $ samples_arg $ seed_arg $ horizon_arg $ csv_arg) in
+  let term =
+    Term.(const run $ figure_arg $ samples_arg $ seed_arg $ horizon_arg $ csv_arg $ jobs_arg)
+  in
   Cmd.v (Cmd.info "sweep" ~doc:"Regenerate one of the paper's figures") term
 
 (* --- exhaustive --- *)
 
 let exhaustive_cmd =
-  let run path fpga_area policy_name grid_ticks max_combinations =
+  let run path fpga_area policy_name grid_ticks max_combinations jobs =
     match load_taskset path with
     | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -420,7 +480,7 @@ let exhaustive_cmd =
       (match
          Sim.Exhaustive.search
            ~grid:(Model.Time.of_ticks grid_ticks)
-           ~max_combinations ~fpga_area ~policy ts
+           ~max_combinations ~jobs ~fpga_area ~policy ts
        with
        | Sim.Exhaustive.Schedulable_all_offsets { combinations } ->
          Format.printf "no deadline miss for any of the %d offset assignments on the grid@."
@@ -453,7 +513,9 @@ let exhaustive_cmd =
   let policy_arg =
     Arg.(value & opt string "nf" & info [ "policy" ] ~docv:"nf|fkf" ~doc:"Scheduling policy.")
   in
-  let term = Term.(const run $ taskset_arg $ area_arg $ policy_arg $ grid_arg $ max_arg) in
+  let term =
+    Term.(const run $ taskset_arg $ area_arg $ policy_arg $ grid_arg $ max_arg $ jobs_arg)
+  in
   Cmd.v
     (Cmd.info "exhaustive"
        ~doc:"Exhaustively search release offsets for a deadline miss (small tasksets)")

@@ -175,41 +175,30 @@ let trace_findings config scheduler ts =
        | Edf_fkf -> "Lemma 1 occupancy floor violated")
       lemma
 
-let unsoundness_findings config analyzers ts =
-  let releases =
-    Synchronous :: (match config.sporadic_seed with None -> [] | Some s -> [ Sporadic s ])
-  in
-  List.concat_map
-    (fun analyzer ->
-      if not (Core.Verdict.accepted (analyzer.decide ~fpga_area:config.fpga_area ts)) then []
-      else
-        List.concat_map
-          (fun scheduler ->
-            List.concat_map
-              (fun release ->
-                match misses config scheduler release ts with
-                | None -> []
-                | Some m ->
-                  let exhibits candidate =
-                    Taskset.fits candidate ~fpga_area:config.fpga_area
-                    && Core.Verdict.accepted (analyzer.decide ~fpga_area:config.fpga_area candidate)
-                    && misses config scheduler release candidate <> None
-                  in
-                  let counterexample =
-                    if config.shrink then shrink_counterexample ~exhibits ts else ts
-                  in
-                  [
-                    finding ~analyzer:analyzer.name ~scheduler ~counterexample
-                      ~rule:"unsound-accept"
-                      (Format.asprintf
-                         "ACCEPT but task %d misses its deadline at t=%a under %s release"
-                         (m.Engine.task_index + 1) Time.pp m.Engine.at (release_name release));
-                  ])
-              releases)
-          analyzer.sound_for)
-    analyzers
+let unsound_check config analyzer scheduler release ts =
+  if not (Core.Verdict.accepted (analyzer.decide ~fpga_area:config.fpga_area ts)) then []
+  else
+    match misses config scheduler release ts with
+    | None -> []
+    | Some m ->
+      let exhibits candidate =
+        Taskset.fits candidate ~fpga_area:config.fpga_area
+        && Core.Verdict.accepted (analyzer.decide ~fpga_area:config.fpga_area candidate)
+        && misses config scheduler release candidate <> None
+      in
+      let counterexample = if config.shrink then shrink_counterexample ~exhibits ts else ts in
+      [
+        finding ~analyzer:analyzer.name ~scheduler ~counterexample ~rule:"unsound-accept"
+          (Format.asprintf "ACCEPT but task %d misses its deadline at t=%a under %s release"
+             (m.Engine.task_index + 1) Time.pp m.Engine.at (release_name release));
+      ]
 
-let audit ?(analyzers = paper_analyzers) config ts =
+(* one independent, side-effect-free unit of audit work; a unit's
+   findings depend only on (config, ts, unit), so units can run on any
+   worker in any order and be reassembled in unit order *)
+type work = Unsound_check of analyzer * scheduler * release | Lemma_check of scheduler
+
+let audit ?(analyzers = paper_analyzers) ?(jobs = 1) config ts =
   if not (Taskset.fits ts ~fpga_area:config.fpga_area) then
     [
       finding ~severity:Diagnostic.Info ~rule:"simulation-skipped"
@@ -229,10 +218,29 @@ let audit ?(analyzers = paper_analyzers) config ts =
         ]
       else []
     in
+    let releases =
+      Synchronous :: (match config.sporadic_seed with None -> [] | Some s -> [ Sporadic s ])
+    in
+    let works =
+      List.concat_map
+        (fun analyzer ->
+          List.concat_map
+            (fun scheduler ->
+              List.map (fun release -> Unsound_check (analyzer, scheduler, release)) releases)
+            analyzer.sound_for)
+        analyzers
+      @ [ Lemma_check Edf_nf; Lemma_check Edf_fkf ]
+    in
+    let eval = function
+      | Unsound_check (analyzer, scheduler, release) ->
+        unsound_check config analyzer scheduler release ts
+      | Lemma_check scheduler -> trace_findings config scheduler ts
+    in
     let findings =
-      unsoundness_findings config analyzers ts
-      @ trace_findings config Edf_nf ts
-      @ trace_findings config Edf_fkf ts
+      (if jobs <= 1 then List.concat_map eval works
+       else
+         Parallel.parallel_map ~jobs eval (Array.of_list works)
+         |> Array.to_list |> List.concat)
       @ truncation
     in
     List.stable_sort (fun a b -> Int.compare (severity_rank a) (severity_rank b)) findings

@@ -75,8 +75,15 @@ val shrink_counterexample :
     [exhibits] keeps holding; returns the fixpoint.  [exhibits] must
     hold of the input. *)
 
-val audit : ?analyzers:analyzer list -> config -> Model.Taskset.t -> finding list
+val audit :
+  ?analyzers:analyzer list -> ?jobs:int -> config -> Model.Taskset.t -> finding list
 (** All findings, most severe first.  An empty list certifies that on
     this taskset every analyzer verdict is consistent with the observed
     schedules and every trace satisfies the lemma and physical
-    invariants. *)
+    invariants.
+
+    [jobs] (default 1 = serial, 0 = one worker per core) fans the
+    independent audit units — one per analyzer × covered scheduler ×
+    release pattern, plus one lemma/trace check per scheduler — out over
+    a domain pool.  Units are pure and reassembled in their serial
+    order, so the findings are identical for any worker count. *)

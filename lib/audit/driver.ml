@@ -7,7 +7,7 @@ type report = {
 let lint_only ?hyperperiod_cap ~fpga_area ts =
   { fpga_area; lint = Lint.lint ?hyperperiod_cap ~fpga_area ts; findings = [] }
 
-let run ?analyzers ?config ~fpga_area ts =
+let run ?analyzers ?config ?jobs ~fpga_area ts =
   let config =
     match config with
     | None -> Consistency.default_config ~fpga_area
@@ -19,7 +19,7 @@ let run ?analyzers ?config ~fpga_area ts =
   {
     fpga_area;
     lint = Lint.lint ~hyperperiod_cap:config.Consistency.horizon_cap ~fpga_area ts;
-    findings = Consistency.audit ?analyzers config ts;
+    findings = Consistency.audit ?analyzers ?jobs config ts;
   }
 
 let diagnostics r =

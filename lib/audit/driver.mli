@@ -14,12 +14,15 @@ val lint_only : ?hyperperiod_cap:Model.Time.t -> fpga_area:int -> Model.Taskset.
 val run :
   ?analyzers:Consistency.analyzer list ->
   ?config:Consistency.config ->
+  ?jobs:int ->
   fpga_area:int ->
   Model.Taskset.t ->
   report
 (** Lint plus the full consistency audit.  [config] defaults to
     {!Consistency.default_config}; when given, its [fpga_area] must agree
-    with the argument. *)
+    with the argument.  [jobs] fans the audit units out over a domain
+    pool (see {!Consistency.audit}); the report is identical for any
+    worker count. *)
 
 val diagnostics : report -> Diagnostic.t list
 (** Lint diagnostics and converted findings, most severe first. *)

@@ -55,29 +55,47 @@ let evaluate cfg ts = function
     in
     Sim.Engine.schedulable sim_cfg ts
 
-let run_scaled ~progress cfg methods =
+(* Both conditioning modes fan out over independent work items — one
+   taskset drawn and judged per item — on the given domain pool.  Each
+   item owns an Rng.split-derived generator whose state depends only on
+   (seed, item index), so the per-point tallies, and therefore every
+   byte of output, are identical for any worker count. *)
+
+let run_scaled ~progress ~pool cfg methods =
+  let targets = Array.of_list cfg.targets in
+  let n_points = Array.length targets in
+  let samples = max 0 cfg.samples in
+  (* two-level derivation: master -> one generator per utilization
+     point (in target order) -> one generator per sample *)
   let master = Rng.create ~seed:cfg.seed in
-  let total = List.length cfg.targets in
-  List.mapi
-    (fun pi target_us ->
-      let rng = Rng.split master in
+  let point_gens = Parallel.Det.gens master n_points in
+  let sample_gens = Array.map (fun g -> Parallel.Det.gens g samples) point_gens in
+  let one k =
+    let pi = k / samples and si = k mod samples in
+    match
+      Model.Generator.draw_with_target_us sample_gens.(pi).(si) cfg.profile
+        ~target_us:targets.(pi)
+    with
+    | None -> None
+    | Some ts -> Some (Array.map (fun m -> evaluate cfg ts m) methods)
+  in
+  let results =
+    if n_points * samples = 0 then [||]
+    else Parallel.Pool.init ~progress pool (n_points * samples) one
+  in
+  List.init n_points (fun pi ->
       let accepted = Array.make (Array.length methods) 0 in
       let generated = ref 0 in
-      for _ = 1 to cfg.samples do
-        match Model.Generator.draw_with_target_us rng cfg.profile ~target_us with
+      for si = 0 to samples - 1 do
+        match results.((pi * samples) + si) with
         | None -> ()
-        | Some ts ->
+        | Some accepts ->
           incr generated;
-          Array.iteri
-            (fun mi m -> if evaluate cfg ts m then accepted.(mi) <- accepted.(mi) + 1)
-            methods
+          Array.iteri (fun mi ok -> if ok then accepted.(mi) <- accepted.(mi) + 1) accepts
       done;
-      progress (pi + 1) total;
-      { target_us; generated = !generated; accepted })
-    cfg.targets
+      { target_us = targets.(pi); generated = !generated; accepted })
 
-let run_binned ~progress cfg methods =
-  let rng = Rng.create ~seed:cfg.seed in
+let run_binned ~progress ~pool cfg methods =
   let targets = Array.of_list (List.sort_uniq compare cfg.targets) in
   let n_buckets = Array.length targets in
   (* half the distance to the nearest neighbouring target, per side *)
@@ -91,31 +109,37 @@ let run_binned ~progress cfg methods =
     let rec go i = if i >= n_buckets then None else if in_bucket us i then Some i else go (i + 1) in
     go 0
   in
+  let draws = max 0 cfg.samples * n_buckets in
+  let one rng _ =
+    let ts = Model.Generator.draw rng cfg.profile in
+    match bucket_of (Rat.to_float (Model.Taskset.system_utilization ts)) with
+    | None -> None
+    | Some bi -> Some (bi, Array.map (fun m -> evaluate cfg ts m) methods)
+  in
+  let results =
+    if draws = 0 then [||] else Parallel.Det.init ~progress pool ~seed:cfg.seed draws one
+  in
   let generated = Array.make n_buckets 0 in
   let accepted = Array.init n_buckets (fun _ -> Array.make (Array.length methods) 0) in
-  let draws = cfg.samples * n_buckets in
-  for d = 1 to draws do
-    let ts = Model.Generator.draw rng cfg.profile in
-    (match bucket_of (Rat.to_float (Model.Taskset.system_utilization ts)) with
-     | None -> ()
-     | Some bi ->
-       generated.(bi) <- generated.(bi) + 1;
-       Array.iteri
-         (fun mi m -> if evaluate cfg ts m then accepted.(bi).(mi) <- accepted.(bi).(mi) + 1)
-         methods);
-    if d mod (max 1 (draws / 20)) = 0 then progress (d * List.length cfg.targets / draws) (List.length cfg.targets)
-  done;
+  Array.iter
+    (function
+      | None -> ()
+      | Some (bi, accepts) ->
+        generated.(bi) <- generated.(bi) + 1;
+        Array.iteri (fun mi ok -> if ok then accepted.(bi).(mi) <- accepted.(bi).(mi) + 1) accepts)
+    results;
   List.init n_buckets (fun bi ->
       { target_us = targets.(bi); generated = generated.(bi); accepted = accepted.(bi) })
 
-let run ?(progress = fun _ _ -> ()) cfg =
+let run ?(progress = fun _ _ -> ()) ?(jobs = 1) cfg =
   let methods = Array.of_list cfg.methods in
-  let points =
-    match cfg.conditioning with
-    | Scaled -> run_scaled ~progress cfg methods
-    | Binned -> run_binned ~progress cfg methods
-  in
-  { config = cfg; method_names = Array.to_list (Array.map method_name methods); points }
+  Parallel.Pool.with_pool ~jobs:(Parallel.resolve_jobs jobs) (fun pool ->
+      let points =
+        match cfg.conditioning with
+        | Scaled -> run_scaled ~progress ~pool cfg methods
+        | Binned -> run_binned ~progress ~pool cfg methods
+      in
+      { config = cfg; method_names = Array.to_list (Array.map method_name methods); points })
 
 let acceptance _t ~method_index point =
   if point.generated = 0 then 0.0

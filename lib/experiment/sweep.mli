@@ -55,8 +55,22 @@ type point = {
 
 type t = { config : config; method_names : string list; points : point list }
 
-val run : ?progress:(int -> int -> unit) -> config -> t
-(** [progress] is called with (points done, total points). *)
+val run : ?progress:(int -> int -> unit) -> ?jobs:int -> config -> t
+(** [run cfg] evaluates every work item — one generated taskset judged
+    by every method — on a pool of [jobs] worker domains (default 1 =
+    serial; 0 = one per core, see {!Parallel.resolve_jobs}).
+
+    Determinism: each work item owns a generator derived from
+    [cfg.seed] and the item's index alone ({!Parallel.Det}), so the
+    result — and every byte of {!to_csv} / {!to_table} output — is
+    identical for any [jobs], including the serial path.
+
+    [progress] contract: called as [progress done_ total] where the
+    unit is work items (points × samples for [Scaled], total draws for
+    [Binned]).  Calls are serialized and [done_] is strictly
+    increasing even under parallel completion, ending with
+    [done_ = total]; callbacks may therefore safely update a terminal
+    line or a shared counter without locking. *)
 
 val acceptance : t -> method_index:int -> point -> float
 (** Acceptance ratio in [0,1]; 0 when no taskset was generated. *)

@@ -1,0 +1,38 @@
+(** Deterministic domain-pool fan-out.
+
+    Embarrassingly parallel workloads — Monte-Carlo sweeps, audit
+    cross-checks, exhaustive searches — run on a fixed pool of worker
+    domains ({!Pool}) with per-item generators derived deterministically
+    from one seed ({!Det}), so the result is bit-for-bit identical for
+    any worker count.  The conventional knob is [-j N] / [REDF_JOBS]
+    with [0] meaning one worker per core; the default everywhere is
+    serial ([jobs = 1]). *)
+
+module Pool = Pool
+module Det = Det
+
+let available_domains = Pool.available_domains
+
+(** [resolve_jobs j] maps the CLI convention to a worker count:
+    [0] (and any negative value) means one worker per core. *)
+let resolve_jobs jobs = if jobs <= 0 then available_domains () else jobs
+
+let jobs_env_var = "REDF_JOBS"
+
+(** Worker count requested by the [REDF_JOBS] environment variable:
+    a positive count, or [0] for one worker per core.  Unset or
+    malformed means serial. *)
+let default_jobs () =
+  match Sys.getenv_opt jobs_env_var with
+  | None -> 1
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some 0 -> available_domains ()
+    | Some n when n > 0 -> n
+    | Some _ | None -> 1)
+
+let parallel_map ?(jobs = 1) ?chunk ?progress f a =
+  Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool -> Pool.map ?chunk ?progress pool f a)
+
+let parallel_init ?(jobs = 1) ?chunk ?progress n f =
+  Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool -> Pool.init ?chunk ?progress pool n f)

@@ -1,0 +1,182 @@
+(* A fixed pool of worker domains.  Coordination is a single mutex plus
+   two condition variables: the caller publishes a batch body and bumps
+   an epoch counter; every worker runs the body until the batch's atomic
+   cursor is exhausted, then reports back.  The caller participates in
+   the batch itself, so a 1-job pool spawns no domains at all and the
+   serial and parallel paths share one implementation. *)
+
+(* Domain.spawn has a hard cap on live domains (128 on stock runtimes);
+   leave headroom for the caller and anything else in the process. *)
+let max_spawned = 120
+
+type t = {
+  jobs : int; (* workers per batch, caller included *)
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable batch : (unit -> unit) option;
+  mutable epoch : int; (* bumped once per batch *)
+  mutable remaining : int; (* spawned workers still inside the current batch *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let available_domains () = Domain.recommended_domain_count ()
+let jobs t = t.jobs
+
+let worker pool () =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while (not pool.stopping) && pool.epoch = !seen do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    if pool.stopping then Mutex.unlock pool.mutex
+    else begin
+      seen := pool.epoch;
+      let body = match pool.batch with Some b -> b | None -> fun () -> () in
+      Mutex.unlock pool.mutex;
+      (* batch bodies never raise: [run] wraps them in a handler *)
+      (try body () with _ -> ());
+      Mutex.lock pool.mutex;
+      pool.remaining <- pool.remaining - 1;
+      if pool.remaining = 0 then Condition.broadcast pool.work_done;
+      Mutex.unlock pool.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Parallel.Pool.create: jobs must be >= 1";
+  let jobs = min jobs (max_spawned + 1) in
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      batch = None;
+      epoch = 0;
+      remaining = 0;
+      stopping = false;
+      domains = [];
+    }
+  in
+  pool.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  if pool.stopping then Mutex.unlock pool.mutex
+  else begin
+    pool.stopping <- true;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join pool.domains;
+    pool.domains <- []
+  end
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let run_batch pool body =
+  match pool.domains with
+  | [] -> body ()
+  | workers ->
+    Mutex.lock pool.mutex;
+    pool.batch <- Some body;
+    pool.remaining <- List.length workers;
+    pool.epoch <- pool.epoch + 1;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    body ();
+    Mutex.lock pool.mutex;
+    while pool.remaining > 0 do
+      Condition.wait pool.work_done pool.mutex
+    done;
+    pool.batch <- None;
+    Mutex.unlock pool.mutex
+
+let run pool body =
+  let failure = Atomic.make None in
+  let guarded () =
+    try body ()
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+  in
+  run_batch pool guarded;
+  match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let init ?chunk ?progress pool n f =
+  if n < 0 then invalid_arg "Parallel.Pool.init: negative length";
+  if n = 0 then [||]
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> if c < 1 then invalid_arg "Parallel.Pool.init: chunk must be >= 1" else c
+      | None -> max 1 (n / (4 * pool.jobs))
+    in
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let record e bt = ignore (Atomic.compare_and_set failure None (Some (e, bt))) in
+    let failed () = Option.is_some (Atomic.get failure) in
+    let report =
+      match progress with
+      | None -> fun () -> ()
+      | Some cb ->
+        let m = Mutex.create () in
+        let last = ref 0 in
+        fun () ->
+          Mutex.lock m;
+          let c = Atomic.get completed in
+          let outcome =
+            if c > !last then begin
+              last := c;
+              try
+                cb c n;
+                None
+              with e -> Some (e, Printexc.get_raw_backtrace ())
+            end
+            else None
+          in
+          Mutex.unlock m;
+          match outcome with Some (e, bt) -> record e bt | None -> ()
+    in
+    let body () =
+      let rec grab () =
+        if failed () then ()
+        else begin
+          let start = Atomic.fetch_and_add cursor chunk in
+          if start >= n then ()
+          else begin
+            let stop = min n (start + chunk) in
+            (try
+               let i = ref start in
+               while !i < stop && not (failed ()) do
+                 results.(!i) <- Some (f !i);
+                 Atomic.incr completed;
+                 report ();
+                 incr i
+               done
+             with e -> record e (Printexc.get_raw_backtrace ()));
+            grab ()
+          end
+        end
+      in
+      grab ()
+    in
+    run pool body;
+    (match Atomic.get failure with
+     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+     | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map ?chunk ?progress pool f a = init ?chunk ?progress pool (Array.length a) (fun i -> f a.(i))

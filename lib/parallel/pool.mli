@@ -1,0 +1,69 @@
+(** A fixed-size pool of worker domains with a chunked work queue.
+
+    The pool spawns [jobs - 1] domains at creation; the caller's domain
+    is the remaining worker, so a pool with [jobs = 1] spawns nothing
+    and runs every batch inline (the serial path and the parallel path
+    are the same code).  Batches hand out chunks of indices through an
+    atomic cursor, so load imbalance between items self-corrects without
+    any per-item scheduling cost.
+
+    Determinism: {!map} and {!init} write slot [i] of the result from
+    exactly one worker and apply [f] to each index exactly once, so for
+    a pure [f] the result is independent of the worker count and of the
+    chunking.  Pair [f] with a per-index generator ({!Det}) to keep
+    pseudo-random workloads deterministic too.
+
+    Exceptions: the first exception raised by [f] (or by the progress
+    callback) is captured with its backtrace, remaining chunks are
+    abandoned, and the exception is re-raised in the caller once the
+    batch has drained.
+
+    Pools are not re-entrant: run one batch at a time per pool, from the
+    domain that created it. *)
+
+type t
+
+val available_domains : unit -> int
+(** [Domain.recommended_domain_count ()]: the worker count [-j 0]
+    resolves to. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1];
+    counts above the domain-spawn budget are clamped).
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : t -> int
+(** Total workers participating in a batch, caller included. *)
+
+val shutdown : t -> unit
+(** Join every worker domain.  Idempotent.  The pool must not be used
+    afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)
+
+val run : t -> (unit -> unit) -> unit
+(** [run pool body] runs [body ()] once on every worker concurrently
+    (including the caller) and returns when all invocations have
+    returned.  The first exception any invocation raises is re-raised
+    (with its backtrace) after the batch drains; the other invocations
+    still run to completion.  This is the raw primitive behind {!map} —
+    use it for custom loops (e.g. a search with a shared best-so-far). *)
+
+val init :
+  ?chunk:int -> ?progress:(int -> int -> unit) -> t -> int -> (int -> 'a) -> 'a array
+(** [init pool n f] is [[| f 0; ...; f (n-1) |]], computed by all
+    workers.  [chunk] is the number of consecutive indices handed out
+    per queue pop (default: about four chunks per worker; must be
+    [>= 1]).
+
+    [progress] is called as [progress done_ total] with [total = n].
+    Calls are serialized under a mutex and strictly monotonic in
+    [done_]; unless the batch fails, the final call reports
+    [done_ = total].  A long-running callback slows the batch down
+    rather than racing it. *)
+
+val map :
+  ?chunk:int -> ?progress:(int -> int -> unit) -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f a] is [Array.map f a], computed by all workers; same
+    [chunk] and [progress] contract as {!init}. *)

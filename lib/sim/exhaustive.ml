@@ -13,23 +13,32 @@ let offset_choices grid (task : Model.Task.t) =
   List.init n (fun k -> Time.of_ticks (k * g))
 
 let count_combinations choices =
-  List.fold_left
+  Array.fold_left
     (fun acc l ->
-      let n = List.length l in
+      let n = Array.length l in
       if acc > max_int / max 1 n then max_int else acc * n)
     1 choices
 
-let rec enumerate choices k =
-  match choices with
-  | [] -> k []
-  | first :: rest ->
-    List.find_map (fun o -> enumerate rest (fun tail -> k (o :: tail))) first
+(* combination [idx] in lexicographic order, first task most
+   significant: decode a mixed-radix number from the last task up *)
+let offsets_of_index choices idx =
+  let rec go i idx acc =
+    if i < 0 then acc
+    else
+      let radix = Array.length choices.(i) in
+      go (i - 1) (idx / radix) (choices.(i).(idx mod radix) :: acc)
+  in
+  go (Array.length choices - 1) idx []
 
-let search ?(grid = Time.of_units 1) ?(max_combinations = 20_000) ~fpga_area ~policy ts =
+let search ?(grid = Time.of_units 1) ?(max_combinations = 20_000) ?(jobs = 1) ~fpga_area ~policy
+    ts =
   match Model.Taskset.hyperperiod ts with
   | Model.Taskset.Exceeds_cap -> Hyperperiod_too_large
   | Model.Taskset.Finite hyper ->
-    let choices = List.map (offset_choices grid) (Model.Taskset.to_list ts) in
+    let choices =
+      Array.of_list
+        (List.map (fun t -> Array.of_list (offset_choices grid t)) (Model.Taskset.to_list ts))
+    in
     let combinations = count_combinations choices in
     if combinations > max_combinations then Too_many_combinations { combinations }
     else begin
@@ -49,12 +58,66 @@ let search ?(grid = Time.of_units 1) ?(max_combinations = 20_000) ~fpga_area ~po
         | Engine.No_miss -> None
         | Engine.Miss miss -> Some (Miss_with_offsets { offsets; miss })
       in
-      match enumerate choices try_offsets with
-      | Some result -> result
-      | None -> Schedulable_all_offsets { combinations }
+      let jobs = Parallel.resolve_jobs jobs in
+      if jobs <= 1 then begin
+        (* serial: first miss in enumeration order *)
+        let rec go i =
+          if i >= combinations then Schedulable_all_offsets { combinations }
+          else
+            match try_offsets (offsets_of_index choices i) with
+            | Some result -> result
+            | None -> go (i + 1)
+        in
+        go 0
+      end
+      else begin
+        (* parallel branch exploration over the combination indices,
+           with a shared atomic best-so-far.  "Best" is the smallest
+           combination index exhibiting a miss: workers skip branches
+           above the current best, and every index below the final best
+           is examined, so the reported miss is exactly the one the
+           serial enumeration finds — for any worker count. *)
+        let best = Atomic.make max_int in
+        let result_mutex = Mutex.create () in
+        let best_result = ref None in
+        let cursor = Atomic.make 0 in
+        let chunk = max 1 (combinations / (8 * jobs)) in
+        let body () =
+          let rec grab () =
+            let start = Atomic.fetch_and_add cursor chunk in
+            if start >= combinations then ()
+            else begin
+              let stop = min combinations (start + chunk) in
+              for i = start to stop - 1 do
+                if i < Atomic.get best then begin
+                  match try_offsets (offsets_of_index choices i) with
+                  | None -> ()
+                  | Some r ->
+                    Mutex.lock result_mutex;
+                    (match !best_result with
+                     | Some (j, _) when j < i -> ()
+                     | Some _ | None -> best_result := Some (i, r));
+                    Mutex.unlock result_mutex;
+                    let rec relax () =
+                      let cur = Atomic.get best in
+                      if i < cur && not (Atomic.compare_and_set best cur i) then relax ()
+                    in
+                    relax ()
+                end
+              done;
+              grab ()
+            end
+          in
+          grab ()
+        in
+        Parallel.Pool.with_pool ~jobs (fun pool -> Parallel.Pool.run pool body);
+        match !best_result with
+        | Some (_, result) -> result
+        | None -> Schedulable_all_offsets { combinations }
+      end
     end
 
-let sync_is_not_worst_case ?grid ~fpga_area ~policy ts =
+let sync_is_not_worst_case ?grid ?jobs ~fpga_area ~policy ts =
   let cfg = Engine.default_config ~fpga_area ~policy in
   let sync_ok =
     match Model.Taskset.hyperperiod ts with
@@ -66,7 +129,7 @@ let sync_is_not_worst_case ?grid ~fpga_area ~policy ts =
   | None -> None
   | Some false -> Some false (* sync already misses: it is a worst case here *)
   | Some true -> (
-    match search ?grid ~fpga_area ~policy ts with
+    match search ?grid ?jobs ~fpga_area ~policy ts with
     | Miss_with_offsets _ -> Some true
     | Schedulable_all_offsets _ -> Some false
     | Too_many_combinations _ | Hyperperiod_too_large -> None)

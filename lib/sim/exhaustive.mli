@@ -26,6 +26,7 @@ type outcome =
 val search :
   ?grid:Model.Time.t ->
   ?max_combinations:int ->
+  ?jobs:int ->
   fpga_area:int ->
   policy:Policy.t ->
   Model.Taskset.t ->
@@ -34,10 +35,21 @@ val search :
     one time unit) with at most [max_combinations] (default 20000)
     simulations.  Tasksets whose hyper-period exceeds the
     {!Model.Taskset.hyperperiod} cap are rejected as
-    [Hyperperiod_too_large]. *)
+    [Hyperperiod_too_large].
+
+    [jobs] (default 1 = serial, 0 = one worker per core) explores the
+    combination space on a domain pool with a shared atomic best-so-far
+    that prunes branches above the smallest miss index found.  The
+    reported miss is the lexicographically first one — the same
+    assignment the serial enumeration finds — for any worker count. *)
 
 val sync_is_not_worst_case :
-  ?grid:Model.Time.t -> fpga_area:int -> policy:Policy.t -> Model.Taskset.t -> bool option
+  ?grid:Model.Time.t ->
+  ?jobs:int ->
+  fpga_area:int ->
+  policy:Policy.t ->
+  Model.Taskset.t ->
+  bool option
 (** [Some true] when the synchronous release pattern meets all deadlines
     but some other offset assignment on the grid misses — i.e. this
     taskset witnesses the paper's no-critical-instant remark.  [Some

@@ -128,3 +128,29 @@ The no-critical-instant witness:
   no deadline miss observed
   $ redf exhaustive witness.csv --area 10 --grid 500 > /dev/null 2>&1; echo "exit $?"
   exit 2
+
+Parallel runs are byte-identical to serial ones — the sweep CSV, the
+audit report and the exhaustive verdict must not depend on the worker
+count:
+
+  $ redf sweep fig3a --samples 5 --horizon 50 --csv -j 1 > sweep-j1.csv 2>/dev/null
+  $ redf sweep fig3a --samples 5 --horizon 50 --csv -j 4 > sweep-j4.csv 2>/dev/null
+  $ cmp sweep-j1.csv sweep-j4.csv && echo identical
+  identical
+  $ redf audit contended.csv --area 10 --inject-unsound --sexp -j 1 > audit-j1.sexp
+  [2]
+  $ redf audit contended.csv --area 10 --inject-unsound --sexp -j 4 > audit-j4.sexp
+  [2]
+  $ cmp audit-j1.sexp audit-j4.sexp && echo identical
+  identical
+  $ redf exhaustive witness.csv --area 10 --grid 500 -j 4 > /dev/null 2>&1; echo "exit $?"
+  exit 2
+
+Several tasksets can be audited in one invocation (in parallel with
+-j); the exit status is the worst one and each report is labelled:
+
+  $ redf audit table1.csv witness.csv --area 10 -j 2; echo "exit $?"
+  audit table1.csv: clean
+  warning[degenerate-utilization] task 1: C = T = 3: utilization is exactly 1, the task permanently occupies 6 columns
+  audit witness.csv: 0 errors, 1 warning, 0 infos
+  exit 0

@@ -1,0 +1,230 @@
+(* Tests for the parallel subsystem: pool edge cases, the determinism
+   contract (results identical for any worker count), and the progress
+   contract (serialized, strictly monotonic, final call = total).
+
+   The job counts exercised include [Parallel.default_jobs ()], so a CI
+   leg running with REDF_JOBS=2 also covers the env-var path. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let job_counts = List.sort_uniq compare [ 1; 2; 4; Parallel.default_jobs () ]
+
+(* ---- pool edge cases ---- *)
+
+let empty_input () =
+  List.iter
+    (fun jobs ->
+      check_int "map on [||]" 0 (Array.length (Parallel.parallel_map ~jobs (fun x -> x) [||]));
+      check_int "init 0" 0 (Array.length (Parallel.parallel_init ~jobs 0 (fun i -> i))))
+    job_counts
+
+let init_matches_serial () =
+  let expected = Array.init 257 (fun i -> (i * i) + 1) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "init jobs=%d" jobs)
+        expected
+        (Parallel.parallel_init ~jobs 257 (fun i -> (i * i) + 1)))
+    job_counts
+
+let chunk_one () =
+  Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (array int))
+        "chunk=1" (Array.init 10 succ)
+        (Parallel.Pool.init ~chunk:1 pool 10 succ))
+
+let more_workers_than_items () =
+  Alcotest.(check (array int))
+    "8 workers, 3 items" [| 0; 2; 4 |]
+    (Parallel.parallel_init ~jobs:8 3 (fun i -> 2 * i))
+
+exception Boom of int
+
+let exception_propagates () =
+  List.iter
+    (fun jobs ->
+      match Parallel.parallel_init ~jobs 100 (fun i -> if i = 57 then raise (Boom i) else i) with
+      | _ -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom 57 -> ())
+    [ 1; 2; 4 ]
+
+let pool_survives_batch_failure () =
+  (* a failed batch must leave the pool usable for the next one *)
+  Parallel.Pool.with_pool ~jobs:2 (fun pool ->
+      (match Parallel.Pool.init pool 10 (fun i -> if i = 3 then failwith "bad" else i) with
+       | _ -> Alcotest.fail "expected failure"
+       | exception Failure _ -> ());
+      Alcotest.(check (array int)) "next batch" (Array.init 10 succ) (Parallel.Pool.init pool 10 succ))
+
+let pool_reuse () =
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      check_int "workers" 4 (Parallel.Pool.jobs pool);
+      let a = Parallel.Pool.map pool String.length [| "a"; "bb"; "ccc" |] in
+      let b = Parallel.Pool.map pool String.length [| "dddd" |] in
+      Alcotest.(check (array int)) "first batch" [| 1; 2; 3 |] a;
+      Alcotest.(check (array int)) "second batch" [| 4 |] b)
+
+let progress_contract () =
+  List.iter
+    (fun jobs ->
+      let calls = ref [] in
+      let progress done_ total = calls := (done_, total) :: !calls in
+      ignore (Parallel.parallel_init ~jobs ~progress 50 (fun i -> i));
+      let calls = List.rev !calls in
+      check_bool "at least one call" true (calls <> []);
+      List.iter (fun (_, total) -> check_int "total" 50 total) calls;
+      let dones = List.map fst calls in
+      let rec strictly_increasing = function
+        | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+        | [ _ ] | [] -> true
+      in
+      check_bool "strictly monotonic" true (strictly_increasing dones);
+      check_int "final call reports total" 50 (List.nth dones (List.length dones - 1)))
+    job_counts
+
+let resolve_jobs () =
+  check_bool "0 means all cores" true (Parallel.resolve_jobs 0 >= 1);
+  check_int "positive passes through" 3 (Parallel.resolve_jobs 3)
+
+(* ---- Det: per-index generators make random workloads deterministic ---- *)
+
+let det_deterministic () =
+  let draw jobs =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        Parallel.Det.init pool ~seed:11 64 (fun g i -> (i, Rng.int g 1_000_000)))
+  in
+  let reference = draw 1 in
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "Det.init jobs=%d" jobs)
+        true
+        (draw jobs = reference))
+    job_counts
+
+(* ---- the three wired hot paths are identical for any worker count ---- *)
+
+let sweep_config conditioning =
+  let profile = Model.Generator.unconstrained ~n:4 in
+  {
+    (Experiment.Sweep.default_config ~profile) with
+    Experiment.Sweep.samples = 25;
+    targets = [ 20.0; 40.0; 60.0 ];
+    sim_horizon = Model.Time.of_units 100;
+    conditioning;
+  }
+
+let sweep_deterministic conditioning () =
+  let csv jobs = Experiment.Sweep.to_csv (Experiment.Sweep.run ~jobs (sweep_config conditioning)) in
+  let reference = csv 1 in
+  List.iter
+    (fun jobs ->
+      check_bool (Printf.sprintf "sweep csv jobs=%d" jobs) true (String.equal (csv jobs) reference))
+    job_counts
+
+let contended_taskset =
+  (* three tasks each needing 4/5 of the timeline and 4/10 of the area:
+     misses under both schedulers, so an always-accept analyzer is
+     contradicted (same shape as the audit tests' [contended] set) *)
+  Model.Taskset.of_list
+    [
+      Model.Task.make ~name:"a" ~exec:(Model.Time.of_units 4) ~deadline:(Model.Time.of_units 5)
+        ~period:(Model.Time.of_units 5) ~area:4 ();
+      Model.Task.make ~name:"b" ~exec:(Model.Time.of_units 4) ~deadline:(Model.Time.of_units 5)
+        ~period:(Model.Time.of_units 5) ~area:4 ();
+      Model.Task.make ~name:"c" ~exec:(Model.Time.of_units 4) ~deadline:(Model.Time.of_units 5)
+        ~period:(Model.Time.of_units 5) ~area:4 ();
+    ]
+
+let audit_deterministic () =
+  (* inject an unsound analyzer so the parallel path also covers the
+     miss -> shrink -> fixture pipeline, not just clean verdicts *)
+  let analyzers =
+    Audit.Consistency.paper_analyzers
+    @ [ Audit.Consistency.always_accept ~name:"YES" ~sound_for:[ Audit.Consistency.Edf_nf ] ]
+  in
+  let config = Audit.Consistency.default_config ~fpga_area:10 in
+  let run jobs = Audit.Consistency.audit ~analyzers ~jobs config contended_taskset in
+  let reference = run 1 in
+  check_bool "injected analyzer caught" true
+    (List.exists (fun f -> f.Audit.Consistency.analyzer = Some "YES") reference);
+  List.iter
+    (fun jobs ->
+      check_bool (Printf.sprintf "audit findings jobs=%d" jobs) true (run jobs = reference))
+    job_counts
+
+let exhaustive_witness =
+  Model.Taskset.of_list
+    [
+      Model.Task.make ~name:"t0" ~exec:(Model.Time.of_units 3) ~deadline:(Model.Time.of_units 3)
+        ~period:(Model.Time.of_units 3) ~area:6 ();
+      Model.Task.make ~name:"t1" ~exec:(Model.Time.of_units 1) ~deadline:(Model.Time.of_units 3)
+        ~period:(Model.Time.of_units 3) ~area:4 ();
+      Model.Task.make ~name:"t2" ~exec:(Model.Time.of_units 1) ~deadline:(Model.Time.of_units 2)
+        ~period:(Model.Time.of_units 2) ~area:4 ();
+    ]
+
+let exhaustive_deterministic () =
+  let grid = Model.Time.of_ticks 500 in
+  let search jobs ts =
+    Sim.Exhaustive.search ~grid ~jobs ~fpga_area:10 ~policy:Sim.Policy.edf_nf ts
+  in
+  (* a taskset with a miss: the parallel search must report the same
+     (lexicographically first) offset assignment as the serial one *)
+  let reference = search 1 exhaustive_witness in
+  (match reference with
+   | Sim.Exhaustive.Miss_with_offsets _ -> ()
+   | _ -> Alcotest.fail "witness should miss for some offsets");
+  List.iter
+    (fun jobs ->
+      check_bool (Printf.sprintf "miss outcome jobs=%d" jobs) true
+        (search jobs exhaustive_witness = reference))
+    job_counts;
+  (* and a schedulable taskset: all outcomes agree there too *)
+  let ok =
+    Model.Taskset.of_list
+      [
+        Model.Task.make ~name:"a" ~exec:(Model.Time.of_units 1) ~deadline:(Model.Time.of_units 3)
+          ~period:(Model.Time.of_units 3) ~area:4 ();
+        Model.Task.make ~name:"b" ~exec:(Model.Time.of_units 1) ~deadline:(Model.Time.of_units 2)
+          ~period:(Model.Time.of_units 2) ~area:4 ();
+      ]
+  in
+  let reference = Sim.Exhaustive.search ~jobs:1 ~fpga_area:10 ~policy:Sim.Policy.edf_nf ok in
+  (match reference with
+   | Sim.Exhaustive.Schedulable_all_offsets { combinations } -> check_int "combinations" 6 combinations
+   | _ -> Alcotest.fail "expected schedulable");
+  List.iter
+    (fun jobs ->
+      check_bool (Printf.sprintf "schedulable outcome jobs=%d" jobs) true
+        (Sim.Exhaustive.search ~jobs ~fpga_area:10 ~policy:Sim.Policy.edf_nf ok = reference))
+    job_counts
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "empty input" `Quick empty_input;
+          Alcotest.test_case "init matches serial" `Quick init_matches_serial;
+          Alcotest.test_case "chunk size 1" `Quick chunk_one;
+          Alcotest.test_case "more workers than items" `Quick more_workers_than_items;
+          Alcotest.test_case "exception propagates" `Quick exception_propagates;
+          Alcotest.test_case "pool survives batch failure" `Quick pool_survives_batch_failure;
+          Alcotest.test_case "pool reuse" `Quick pool_reuse;
+          Alcotest.test_case "progress contract" `Quick progress_contract;
+          Alcotest.test_case "resolve_jobs" `Quick resolve_jobs;
+        ] );
+      ("det", [ Alcotest.test_case "deterministic for any jobs" `Quick det_deterministic ]);
+      ( "hot paths",
+        [
+          Alcotest.test_case "sweep scaled deterministic" `Quick
+            (sweep_deterministic Experiment.Sweep.Scaled);
+          Alcotest.test_case "sweep binned deterministic" `Quick
+            (sweep_deterministic Experiment.Sweep.Binned);
+          Alcotest.test_case "audit deterministic" `Quick audit_deterministic;
+          Alcotest.test_case "exhaustive deterministic" `Quick exhaustive_deterministic;
+        ] );
+    ]
