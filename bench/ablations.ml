@@ -45,18 +45,16 @@ let measured_alpha () =
       (fun (worst, lemma_ok, contended) ts ->
         let cfg = Engine.default_config ~fpga_area ~policy in
         let r = Engine.run { cfg with Engine.horizon = Time.of_units 100 } ts in
-        if r.Engine.stats.contended_ticks = 0 then (worst, lemma_ok, contended)
-        else begin
-          let alpha =
-            float_of_int r.Engine.stats.min_busy_when_contended /. float_of_int fpga_area
-          in
+        match r.Engine.stats.min_busy_when_contended with
+        | None -> (worst, lemma_ok, contended)
+        | Some min_busy ->
+          let alpha = float_of_int min_busy /. float_of_int fpga_area in
           let flag =
             match policy.Policy.rule with
             | Policy.Fkf -> r.Engine.stats.fkf_alpha_respected
             | Policy.Nf -> r.Engine.stats.nf_alpha_respected
           in
-          (min worst alpha, lemma_ok && flag, contended + 1)
-        end)
+          (min worst alpha, lemma_ok && flag, contended + 1))
       (1.0, true, 0) sets
   in
   let report name policy bound_of =

@@ -20,5 +20,6 @@ let () =
   Ablations.run ();
   Parallel.run ();
   Micro.run ();
+  Obs_bench.run ();
   print_newline ();
   print_endline "done; CSV series in ./results/, interpretation in EXPERIMENTS.md"

@@ -7,7 +7,10 @@
      sweep     acceptance-ratio sweep for one of the paper's figures
      tables    reproduce the paper's Tables 1-3
      lint      static lint pass over a taskset CSV
-     audit     lint + cross-analyzer soundness audit against simulation *)
+     audit     lint + cross-analyzer soundness audit against simulation
+
+   Long-running subcommands accept --metrics[=FILE] to dump a runtime
+   metrics snapshot (JSON lines); metrics-diff compares two of them. *)
 
 open Cmdliner
 
@@ -52,6 +55,38 @@ let jobs_arg =
           "Worker domains for parallel execution: a positive count, or 0 for one per core. \
            Defaults to $(b,REDF_JOBS) (same convention), else 1 (serial). Output is \
            byte-identical for every $(docv).")
+
+(* --- metrics --- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect runtime metrics and append a key-sorted JSON-lines snapshot to $(docv) after \
+           the run ($(b,-), or no value, means stderr). Compare two snapshots with $(b,redf \
+           metrics-diff).")
+
+(* the snapshot is emitted even when the wrapped command fails, so a
+   non-zero exit still leaves its cost profile behind *)
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some dest ->
+    Obs.set_enabled true;
+    let emit () =
+      let jsonl = Obs.Snapshot.to_jsonl (Obs.Snapshot.take ()) in
+      match dest with
+      | "-" ->
+        output_string stderr jsonl;
+        flush stderr
+      | path ->
+        let oc = open_out path in
+        output_string oc jsonl;
+        close_out oc
+    in
+    Fun.protect ~finally:emit f
 
 (* progress printer shared by the parallel-capable subcommands: called
    from worker domains (already serialized and monotonic, see
@@ -123,7 +158,9 @@ let lint_cmd =
   Cmd.v info term
 
 let audit_cmd =
-  let run paths fpga_area sexp strict cap_units seed inject_unsound no_shrink fixture_dir jobs =
+  let run paths fpga_area sexp strict cap_units seed inject_unsound no_shrink fixture_dir jobs
+      metrics =
+    with_metrics metrics @@ fun () ->
     let config =
       {
         (Audit.Consistency.default_config ~fpga_area) with
@@ -232,7 +269,7 @@ let audit_cmd =
   let term =
     Term.(
       const run $ tasksets_arg $ area_arg $ sexp_arg $ strict_arg $ cap_arg $ seed_opt_arg
-      $ inject_arg $ no_shrink_arg $ fixture_dir_arg $ jobs_arg)
+      $ inject_arg $ no_shrink_arg $ fixture_dir_arg $ jobs_arg $ metrics_arg)
   in
   let info =
     Cmd.info "audit"
@@ -258,7 +295,8 @@ let audit_cmd =
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run path fpga_area all =
+  let run path fpga_area all metrics =
+    with_metrics metrics @@ fun () ->
     match load_taskset path with
     | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -295,7 +333,7 @@ let analyze_cmd =
   let all_arg =
     Arg.(value & flag & info [ "all" ] ~doc:"Also run the uncorrected/printed test variants.")
   in
-  let term = Term.(const run $ taskset_arg $ area_arg $ all_arg) in
+  let term = Term.(const run $ taskset_arg $ area_arg $ all_arg $ metrics_arg) in
   let info =
     Cmd.info "analyze"
       ~doc:"Run the schedulability tests on a taskset"
@@ -314,7 +352,8 @@ let analyze_cmd =
 (* --- simulate --- *)
 
 let simulate_cmd =
-  let run path fpga_area horizon policy_name gantt contiguous =
+  let run path fpga_area horizon policy_name gantt contiguous metrics =
+    with_metrics metrics @@ fun () ->
     match load_taskset path with
     | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -354,7 +393,7 @@ let simulate_cmd =
         s.Sim.Engine.jobs_released s.Sim.Engine.jobs_completed s.Sim.Engine.preemptions
         (Model.Time.to_string (Model.Time.of_ticks s.Sim.Engine.contended_ticks));
       Format.printf "mean occupied area: %.1f / %d columns@."
-        (Sim.Engine.average_busy_area result cfg)
+        (Sim.Engine.average_busy_area result)
         fpga_area;
       if gantt then print_string (Trace.Gantt.render ~fpga_area ts result);
       (match result.Sim.Engine.outcome with Sim.Engine.No_miss -> 0 | Sim.Engine.Miss _ -> 2)
@@ -370,7 +409,9 @@ let simulate_cmd =
           ~doc:"Contiguous first-fit placement instead of unrestricted migration.")
   in
   let term =
-    Term.(const run $ taskset_arg $ area_arg $ horizon_arg $ policy_arg $ gantt_arg $ contiguous_arg)
+    Term.(
+      const run $ taskset_arg $ area_arg $ horizon_arg $ policy_arg $ gantt_arg $ contiguous_arg
+      $ metrics_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate EDF-NF or EDF-FkF scheduling of a taskset") term
 
@@ -422,7 +463,8 @@ let generate_cmd =
 (* --- sweep --- *)
 
 let sweep_cmd =
-  let run figure_name samples seed horizon csv jobs =
+  let run figure_name samples seed horizon csv jobs metrics =
+    with_metrics metrics @@ fun () ->
     match
       List.find_opt (fun f -> Experiment.Figures.id f = figure_name) Experiment.Figures.all
     with
@@ -456,14 +498,17 @@ let sweep_cmd =
   in
   let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
   let term =
-    Term.(const run $ figure_arg $ samples_arg $ seed_arg $ horizon_arg $ csv_arg $ jobs_arg)
+    Term.(
+      const run $ figure_arg $ samples_arg $ seed_arg $ horizon_arg $ csv_arg $ jobs_arg
+      $ metrics_arg)
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Regenerate one of the paper's figures") term
 
 (* --- exhaustive --- *)
 
 let exhaustive_cmd =
-  let run path fpga_area policy_name grid_ticks max_combinations jobs =
+  let run path fpga_area policy_name grid_ticks max_combinations jobs metrics =
+    with_metrics metrics @@ fun () ->
     match load_taskset path with
     | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -514,7 +559,8 @@ let exhaustive_cmd =
     Arg.(value & opt string "nf" & info [ "policy" ] ~docv:"nf|fkf" ~doc:"Scheduling policy.")
   in
   let term =
-    Term.(const run $ taskset_arg $ area_arg $ policy_arg $ grid_arg $ max_arg $ jobs_arg)
+    Term.(
+      const run $ taskset_arg $ area_arg $ policy_arg $ grid_arg $ max_arg $ jobs_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "exhaustive"
@@ -540,6 +586,58 @@ let tables_cmd =
   in
   Cmd.v (Cmd.info "tables" ~doc:"Reproduce the paper's Tables 1-3") Term.(const run $ const ())
 
+(* --- metrics-diff --- *)
+
+let metrics_diff_cmd =
+  let run path_a path_b det_only =
+    let load path =
+      match read_file path with
+      | exception Sys_error msg -> Error msg
+      | contents -> Obs.Snapshot.of_jsonl contents
+    in
+    match (load path_a, load path_b) with
+    | Error msg, _ | _, Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      3
+    | Ok a, Ok b -> (
+      match Obs.Snapshot.diff ~det_only a b with
+      | [] ->
+        print_endline (if det_only then "identical (deterministic metrics)" else "identical");
+        0
+      | lines ->
+        List.iter print_endline lines;
+        1)
+  in
+  let snapshot_arg i docv =
+    Arg.(required & pos i (some file) None & info [] ~docv ~doc:"Metrics snapshot (JSON lines).")
+  in
+  let det_only_arg =
+    Arg.(
+      value & flag
+      & info [ "det-only" ]
+          ~doc:
+            "Compare only deterministic counters and gauges — the values that must not depend on \
+             the worker count; timers and occupancy metrics are ignored.")
+  in
+  let term =
+    Term.(const run $ snapshot_arg 0 "A.jsonl" $ snapshot_arg 1 "B.jsonl" $ det_only_arg)
+  in
+  let info =
+    Cmd.info "metrics-diff"
+      ~doc:"Compare two metrics snapshots"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Compares two snapshots written by $(b,--metrics). Exit status 0 when they agree, 1 \
+             when they differ (one line per difference on stdout), 3 when a snapshot cannot be \
+             read. With $(b,--det-only) the comparison is restricted to metrics that are \
+             deterministic by construction, which must be identical across $(b,-j) settings for \
+             the same command.";
+        ]
+  in
+  Cmd.v info term
+
 let main_cmd =
   let doc = "schedulability analysis of EDF scheduling on reconfigurable hardware" in
   let info =
@@ -563,6 +661,7 @@ let main_cmd =
       exhaustive_cmd;
       lint_cmd;
       audit_cmd;
+      metrics_diff_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -63,6 +63,15 @@ let to_diagnostic f =
   in
   { Diagnostic.severity = f.severity; rule = f.rule; task_index = None; message }
 
+(* unit counts and shrink steps depend only on (config, taskset), never
+   on the worker count, so they are det metrics; the per-unit timer is
+   the audit's cost profile *)
+let m_units = Obs.Counter.make "audit.consistency.units"
+let m_findings = Obs.Counter.make "audit.consistency.findings"
+let m_simulations = Obs.Counter.make "audit.consistency.simulations"
+let m_shrink_steps = Obs.Counter.make "audit.consistency.shrink_steps"
+let unit_timer = Obs.Timer.make "audit.consistency.unit"
+
 type config = {
   fpga_area : int;
   horizon_cap : Model.Time.t;
@@ -87,6 +96,7 @@ let horizon_of config ts =
   | Taskset.Exceeds_cap -> (config.horizon_cap, true)
 
 let simulate config ~record scheduler release ts =
+  Obs.Counter.incr m_simulations;
   let horizon, truncated = horizon_of config ts in
   let cfg = Engine.default_config ~fpga_area:config.fpga_area ~policy:(policy_of scheduler) in
   let cfg =
@@ -139,7 +149,13 @@ let shrink_counterexample ~exhibits ts =
         if (not (Taskset.equal candidate ts)) && exhibits candidate then Some candidate else None)
       candidates
   in
-  let rec fix ts = match step ts with None -> ts | Some smaller -> fix smaller in
+  let rec fix ts =
+    match step ts with
+    | None -> ts
+    | Some smaller ->
+      Obs.Counter.incr m_shrink_steps;
+      fix smaller
+  in
   fix ts
 
 (* --- the audit --- *)
@@ -231,10 +247,13 @@ let audit ?(analyzers = paper_analyzers) ?(jobs = 1) config ts =
         analyzers
       @ [ Lemma_check Edf_nf; Lemma_check Edf_fkf ]
     in
-    let eval = function
-      | Unsound_check (analyzer, scheduler, release) ->
-        unsound_check config analyzer scheduler release ts
-      | Lemma_check scheduler -> trace_findings config scheduler ts
+    let eval work =
+      Obs.Counter.incr m_units;
+      Obs.Timer.time unit_timer (fun () ->
+          match work with
+          | Unsound_check (analyzer, scheduler, release) ->
+            unsound_check config analyzer scheduler release ts
+          | Lemma_check scheduler -> trace_findings config scheduler ts)
     in
     let findings =
       (if jobs <= 1 then List.concat_map eval works
@@ -243,5 +262,6 @@ let audit ?(analyzers = paper_analyzers) ?(jobs = 1) config ts =
          |> Array.to_list |> List.concat)
       @ truncation
     in
+    Obs.Counter.add m_findings (List.length findings);
     List.stable_sort (fun a b -> Int.compare (severity_rank a) (severity_rank b)) findings
   end

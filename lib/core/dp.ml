@@ -29,7 +29,9 @@ let decide_general ~test_name ~plus_one ~fpga_area ts =
     Verdict.make ~test_name ~checks
   end
 
-let decide ~fpga_area ts = decide_general ~test_name:"DP" ~plus_one:true ~fpga_area ts
+let decide ~fpga_area ts =
+  Obs.Span.with_ ~name:"core.dp.decide" (fun () ->
+      decide_general ~test_name:"DP" ~plus_one:true ~fpga_area ts)
 let accepts ~fpga_area ts = Verdict.accepted (decide ~fpga_area ts)
 
 let decide_original ~fpga_area ts =

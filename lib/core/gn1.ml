@@ -59,7 +59,9 @@ let decide_general ~test_name ~lemma3_form ~fpga_area ts =
     Verdict.make ~test_name ~checks:(List.init n check)
   end
 
-let decide ~fpga_area ts = decide_general ~test_name:"GN1" ~lemma3_form:true ~fpga_area ts
+let decide ~fpga_area ts =
+  Obs.Span.with_ ~name:"core.gn1.decide" (fun () ->
+      decide_general ~test_name:"GN1" ~lemma3_form:true ~fpga_area ts)
 let accepts ~fpga_area ts = Verdict.accepted (decide ~fpga_area ts)
 
 let decide_printed ~fpga_area ts =

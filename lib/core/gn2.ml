@@ -48,7 +48,12 @@ type lambda_eval = {
   cond2 : bool;
 }
 
+(* candidates actually evaluated: the observable cost of the O(N^3)
+   test (each evaluation is an O(N) beta sweep) *)
+let m_lambda_evals = Obs.Counter.make "core.gn2.lambda_evals"
+
 let evaluate_lambda_q ~fpga_area qs ~k ~lambda =
+  Obs.Counter.incr m_lambda_evals;
   let qk = qs.(k) in
   let lambda_k = lambda_k_of qk lambda in
   let abnd = Rat.of_int (fpga_area - Params.amax qs + 1) in
@@ -70,7 +75,7 @@ let evaluate_lambda_q ~fpga_area qs ~k ~lambda =
   let cond2 = Stdlib.( < ) (Rat.compare cond2_lhs cond2_rhs) 0 in
   { lambda; lambda_k; cond1_lhs; cond1_rhs; cond1; cond2_lhs; cond2_rhs; cond2 }
 
-let decide ~fpga_area ts =
+let decide_inner ~fpga_area ts =
   let test_name = "GN2" in
   let qs = Params.of_taskset ts in
   if Params.amax qs > fpga_area then
@@ -130,6 +135,9 @@ let decide ~fpga_area ts =
     in
     Verdict.make ~test_name ~checks:(List.init (Array.length qs) check)
   end
+
+let decide ~fpga_area ts =
+  Obs.Span.with_ ~name:"core.gn2.decide" (fun () -> decide_inner ~fpga_area ts)
 
 let accepts ~fpga_area ts = Verdict.accepted (decide ~fpga_area ts)
 

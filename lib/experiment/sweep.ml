@@ -44,6 +44,16 @@ type t = { config : config; method_names : string list; points : point list }
 
 let method_name = function Analytic (n, _) | Simulation (n, _) -> n
 
+(* work items are the unit of fan-out, so their counts are the sweep's
+   deterministic cost measure: identical totals for any worker count *)
+let m_items = Obs.Counter.make "experiment.sweep.work_items"
+let m_generated = Obs.Counter.make "experiment.sweep.tasksets_generated"
+let m_draw_failures = Obs.Counter.make "experiment.sweep.draw_failures"
+
+(* per-point wall time, keyed by the target utilization so slow points
+   are attributable; registered up front, recorded from any domain *)
+let point_timer target_us = Obs.Timer.make (Printf.sprintf "experiment.sweep.point.us%g" target_us)
+
 let evaluate cfg ts = function
   | Analytic (_, test) -> test ~fpga_area:cfg.profile.Model.Generator.fpga_area ts
   | Simulation (_, policy) ->
@@ -70,14 +80,21 @@ let run_scaled ~progress ~pool cfg methods =
   let master = Rng.create ~seed:cfg.seed in
   let point_gens = Parallel.Det.gens master n_points in
   let sample_gens = Array.map (fun g -> Parallel.Det.gens g samples) point_gens in
+  let point_timers = Array.map point_timer targets in
   let one k =
     let pi = k / samples and si = k mod samples in
-    match
-      Model.Generator.draw_with_target_us sample_gens.(pi).(si) cfg.profile
-        ~target_us:targets.(pi)
-    with
-    | None -> None
-    | Some ts -> Some (Array.map (fun m -> evaluate cfg ts m) methods)
+    Obs.Counter.incr m_items;
+    Obs.Timer.time point_timers.(pi) (fun () ->
+        match
+          Model.Generator.draw_with_target_us sample_gens.(pi).(si) cfg.profile
+            ~target_us:targets.(pi)
+        with
+        | None ->
+          Obs.Counter.incr m_draw_failures;
+          None
+        | Some ts ->
+          Obs.Counter.incr m_generated;
+          Some (Array.map (fun m -> evaluate cfg ts m) methods))
   in
   let results =
     if n_points * samples = 0 then [||]
@@ -111,10 +128,15 @@ let run_binned ~progress ~pool cfg methods =
   in
   let draws = max 0 cfg.samples * n_buckets in
   let one rng _ =
+    Obs.Counter.incr m_items;
     let ts = Model.Generator.draw rng cfg.profile in
     match bucket_of (Rat.to_float (Model.Taskset.system_utilization ts)) with
-    | None -> None
-    | Some bi -> Some (bi, Array.map (fun m -> evaluate cfg ts m) methods)
+    | None ->
+      Obs.Counter.incr m_draw_failures;
+      None
+    | Some bi ->
+      Obs.Counter.incr m_generated;
+      Some (bi, Array.map (fun m -> evaluate cfg ts m) methods)
   in
   let results =
     if draws = 0 then [||] else Parallel.Det.init ~progress pool ~seed:cfg.seed draws one
@@ -132,14 +154,15 @@ let run_binned ~progress ~pool cfg methods =
       { target_us = targets.(bi); generated = generated.(bi); accepted = accepted.(bi) })
 
 let run ?(progress = fun _ _ -> ()) ?(jobs = 1) cfg =
-  let methods = Array.of_list cfg.methods in
-  Parallel.Pool.with_pool ~jobs:(Parallel.resolve_jobs jobs) (fun pool ->
-      let points =
-        match cfg.conditioning with
-        | Scaled -> run_scaled ~progress ~pool cfg methods
-        | Binned -> run_binned ~progress ~pool cfg methods
-      in
-      { config = cfg; method_names = Array.to_list (Array.map method_name methods); points })
+  Obs.Span.with_ ~name:"experiment.sweep.run" (fun () ->
+      let methods = Array.of_list cfg.methods in
+      Parallel.Pool.with_pool ~jobs:(Parallel.resolve_jobs jobs) (fun pool ->
+          let points =
+            match cfg.conditioning with
+            | Scaled -> run_scaled ~progress ~pool cfg methods
+            | Binned -> run_binned ~progress ~pool cfg methods
+          in
+          { config = cfg; method_names = Array.to_list (Array.map method_name methods); points }))
 
 let acceptance _t ~method_index point =
   if point.generated = 0 then 0.0

@@ -1,0 +1,423 @@
+(* The registry is one mutex-protected table of named metrics; the
+   metrics themselves are lock-free (counters, gauges) or carry their
+   own mutex (timers), so registration is the only globally serialized
+   operation and updates never contend across metrics.  Everything is
+   gated on [enabled_flag]: the disabled path is one atomic load. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+type timer_state = {
+  tmutex : Mutex.t;
+  mutable tcount : int;
+  mutable tsum_ns : int;
+  mutable tmin_ns : int; (* meaningful only when tcount > 0 *)
+  mutable tmax_ns : int;
+}
+
+type metric =
+  | M_counter of { det : bool; v : int Atomic.t }
+  | M_gauge of { det : bool; v : int Atomic.t }
+  | M_timer of timer_state
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let kind_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ -> "gauge"
+  | M_timer _ -> "timer"
+
+(* register-or-lookup: handles stay valid across [reset], and two
+   modules registering the same name share one metric *)
+let intern name fresh matches =
+  Mutex.lock registry_mutex;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some existing ->
+      if not (matches existing) then begin
+        let k = kind_name existing in
+        Mutex.unlock registry_mutex;
+        invalid_arg (Printf.sprintf "Obs: %S is already registered as a %s" name k)
+      end;
+      existing
+    | None ->
+      let m = fresh () in
+      Hashtbl.add registry name m;
+      m
+  in
+  Mutex.unlock registry_mutex;
+  m
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter
+    (fun _ -> function
+      | M_counter { v; _ } | M_gauge { v; _ } -> Atomic.set v 0
+      | M_timer t ->
+        Mutex.lock t.tmutex;
+        t.tcount <- 0;
+        t.tsum_ns <- 0;
+        t.tmin_ns <- 0;
+        t.tmax_ns <- 0;
+        Mutex.unlock t.tmutex)
+    registry;
+  Mutex.unlock registry_mutex
+
+module Counter = struct
+  type t = { v : int Atomic.t }
+
+  let make ?(det = true) name =
+    match
+      intern name
+        (fun () -> M_counter { det; v = Atomic.make 0 })
+        (function M_counter _ -> true | _ -> false)
+    with
+    | M_counter { v; _ } -> { v }
+    | _ -> assert false
+
+  let incr c = if enabled () then Atomic.incr c.v
+
+  let add c n =
+    if n < 0 then invalid_arg "Obs.Counter.add: negative increment";
+    if enabled () && n > 0 then ignore (Atomic.fetch_and_add c.v n)
+
+  let value c = Atomic.get c.v
+end
+
+module Gauge = struct
+  type t = { v : int Atomic.t }
+
+  let make ?(det = false) name =
+    match
+      intern name
+        (fun () -> M_gauge { det; v = Atomic.make 0 })
+        (function M_gauge _ -> true | _ -> false)
+    with
+    | M_gauge { v; _ } -> { v }
+    | _ -> assert false
+
+  let set g n = if enabled () then Atomic.set g.v n
+
+  let set_max g n =
+    if enabled () then begin
+      let rec relax () =
+        let cur = Atomic.get g.v in
+        if n > cur && not (Atomic.compare_and_set g.v cur n) then relax ()
+      in
+      relax ()
+    end
+
+  let value g = Atomic.get g.v
+end
+
+module Timer = struct
+  type t = timer_state
+
+  let make name =
+    match
+      intern name
+        (fun () ->
+          M_timer { tmutex = Mutex.create (); tcount = 0; tsum_ns = 0; tmin_ns = 0; tmax_ns = 0 })
+        (function M_timer _ -> true | _ -> false)
+    with
+    | M_timer t -> t
+    | _ -> assert false
+
+  let record_ns t ns =
+    if enabled () then begin
+      let ns = max 0 ns in
+      Mutex.lock t.tmutex;
+      if t.tcount = 0 then begin
+        t.tmin_ns <- ns;
+        t.tmax_ns <- ns
+      end
+      else begin
+        if ns < t.tmin_ns then t.tmin_ns <- ns;
+        if ns > t.tmax_ns then t.tmax_ns <- ns
+      end;
+      t.tcount <- t.tcount + 1;
+      t.tsum_ns <- t.tsum_ns + ns;
+      Mutex.unlock t.tmutex
+    end
+
+  let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+  let time t f =
+    if not (enabled ()) then f ()
+    else begin
+      let t0 = now_ns () in
+      Fun.protect ~finally:(fun () -> record_ns t (now_ns () - t0)) f
+    end
+
+  let count t =
+    Mutex.lock t.tmutex;
+    let c = t.tcount in
+    Mutex.unlock t.tmutex;
+    c
+
+  let sum_ns t =
+    Mutex.lock t.tmutex;
+    let s = t.tsum_ns in
+    Mutex.unlock t.tmutex;
+    s
+end
+
+module Span = struct
+  (* per-domain stack of open span paths: nesting is a property of the
+     call stack, which never crosses domains *)
+  let stack : string list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+  let now_ns = Timer.now_ns
+
+  let with_ ~name f =
+    if not (enabled ()) then f ()
+    else begin
+      let st = Domain.DLS.get stack in
+      let path = match !st with [] -> name | parent :: _ -> parent ^ "/" ^ name in
+      st := path :: !st;
+      let t0 = now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = now_ns () - t0 in
+          (match !st with [] -> () | _ :: rest -> st := rest);
+          Timer.record_ns (Timer.make path) dt)
+        f
+    end
+end
+
+module Snapshot = struct
+  type entry =
+    | Counter of { det : bool; value : int }
+    | Gauge of { det : bool; value : int }
+    | Timer of { count : int; sum_ns : int; min_ns : int; max_ns : int }
+
+  type t = (string * entry) list
+
+  let take () =
+    Mutex.lock registry_mutex;
+    let entries =
+      Hashtbl.fold
+        (fun name m acc ->
+          let e =
+            match m with
+            | M_counter { det; v } -> Counter { det; value = Atomic.get v }
+            | M_gauge { det; v } -> Gauge { det; value = Atomic.get v }
+            | M_timer t ->
+              Mutex.lock t.tmutex;
+              let e =
+                Timer { count = t.tcount; sum_ns = t.tsum_ns; min_ns = t.tmin_ns; max_ns = t.tmax_ns }
+              in
+              Mutex.unlock t.tmutex;
+              e
+          in
+          (name, e) :: acc)
+        registry []
+    in
+    Mutex.unlock registry_mutex;
+    List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+  (* --- JSON lines --- *)
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* object keys emitted in alphabetical order so the byte form is
+     canonical, not merely the parsed form *)
+  let line name = function
+    | Counter { det; value } ->
+      Printf.sprintf {|{"det":%b,"kind":"counter","name":"%s","value":%d}|} det (escape name) value
+    | Gauge { det; value } ->
+      Printf.sprintf {|{"det":%b,"kind":"gauge","name":"%s","value":%d}|} det (escape name) value
+    | Timer { count; sum_ns; min_ns; max_ns } ->
+      Printf.sprintf
+        {|{"count":%d,"det":false,"kind":"timer","max_ns":%d,"min_ns":%d,"name":"%s","sum_ns":%d}|}
+        count max_ns min_ns (escape name) sum_ns
+
+  let to_jsonl t = String.concat "" (List.map (fun (n, e) -> line n e ^ "\n") t)
+
+  (* minimal parser for the flat objects [line] emits: string, integer
+     and boolean values only *)
+  exception Parse of string
+
+  let parse_object s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse msg) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do
+        incr pos
+      done
+    in
+    let expect c =
+      skip_ws ();
+      if peek () = Some c then incr pos else fail (Printf.sprintf "expected %C" c)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        incr pos;
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          if !pos >= n then fail "bad escape";
+          let e = s.[!pos] in
+          incr pos;
+          (match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 'u' ->
+             if !pos + 4 > n then fail "bad \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+              | Some _ | None -> fail "unsupported \\u escape")
+           | _ -> fail "unknown escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '"' -> `String (parse_string ())
+      | Some 't' ->
+        if !pos + 4 <= n && String.sub s !pos 4 = "true" then (pos := !pos + 4; `Bool true)
+        else fail "bad literal"
+      | Some 'f' ->
+        if !pos + 5 <= n && String.sub s !pos 5 = "false" then (pos := !pos + 5; `Bool false)
+        else fail "bad literal"
+      | Some ('-' | '0' .. '9') ->
+        let start = !pos in
+        if peek () = Some '-' then incr pos;
+        while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+          incr pos
+        done;
+        (match int_of_string_opt (String.sub s start (!pos - start)) with
+         | Some i -> `Int i
+         | None -> fail "bad integer")
+      | _ -> fail "expected a value"
+    in
+    expect '{';
+    let fields = ref [] in
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let rec members () =
+        skip_ws ();
+        let key = parse_string () in
+        expect ':';
+        let v = parse_value () in
+        fields := (key, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          members ()
+        | Some '}' -> incr pos
+        | _ -> fail "expected ',' or '}'"
+      in
+      members ()
+    end;
+    skip_ws ();
+    if !pos <> n then fail "trailing characters";
+    List.rev !fields
+
+  let field fields key =
+    match List.assoc_opt key fields with
+    | Some v -> v
+    | None -> raise (Parse (Printf.sprintf "missing field %S" key))
+
+  let int_field fields key =
+    match field fields key with `Int i -> i | _ -> raise (Parse (key ^ ": expected an integer"))
+
+  let bool_field fields key =
+    match field fields key with `Bool b -> b | _ -> raise (Parse (key ^ ": expected a boolean"))
+
+  let string_field fields key =
+    match field fields key with `String s -> s | _ -> raise (Parse (key ^ ": expected a string"))
+
+  let entry_of_fields fields =
+    let name = string_field fields "name" in
+    match string_field fields "kind" with
+    | "counter" -> (name, Counter { det = bool_field fields "det"; value = int_field fields "value" })
+    | "gauge" -> (name, Gauge { det = bool_field fields "det"; value = int_field fields "value" })
+    | "timer" ->
+      ( name,
+        Timer
+          {
+            count = int_field fields "count";
+            sum_ns = int_field fields "sum_ns";
+            min_ns = int_field fields "min_ns";
+            max_ns = int_field fields "max_ns";
+          } )
+    | k -> raise (Parse (Printf.sprintf "unknown kind %S" k))
+
+  let of_jsonl s =
+    let lines =
+      String.split_on_char '\n' s
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let rec go acc i = function
+      | [] -> Ok (List.sort (fun (a, _) (b, _) -> String.compare a b) (List.rev acc))
+      | l :: rest -> (
+        match entry_of_fields (parse_object l) with
+        | entry -> go (entry :: acc) (i + 1) rest
+        | exception Parse msg -> Error (Printf.sprintf "line %d: %s" i msg))
+    in
+    go [] 1 lines
+
+  (* --- comparison --- *)
+
+  let det_entry = function
+    | Counter { det; _ } | Gauge { det; _ } -> det
+    | Timer _ -> false
+
+  let render = function
+    | Counter { value; _ } -> Printf.sprintf "counter %d" value
+    | Gauge { value; _ } -> Printf.sprintf "gauge %d" value
+    | Timer { count; sum_ns; _ } -> Printf.sprintf "timer count=%d sum_ns=%d" count sum_ns
+
+  let diff ?(det_only = false) a b =
+    let keep (_, e) = (not det_only) || det_entry e in
+    let a = List.filter keep a and b = List.filter keep b in
+    (* both sorted by name: merge *)
+    let rec go acc a b =
+      match (a, b) with
+      | [], [] -> List.rev acc
+      | (n, e) :: rest, [] -> go (Printf.sprintf "- %s (%s)" n (render e) :: acc) rest []
+      | [], (n, e) :: rest -> go (Printf.sprintf "+ %s (%s)" n (render e) :: acc) [] rest
+      | ((na, ea) :: ra as la), ((nb, eb) :: rb as lb) ->
+        let c = String.compare na nb in
+        if c < 0 then go (Printf.sprintf "- %s (%s)" na (render ea) :: acc) ra lb
+        else if c > 0 then go (Printf.sprintf "+ %s (%s)" nb (render eb) :: acc) la rb
+        else if ea = eb then go acc ra rb
+        else go (Printf.sprintf "~ %s: %s -> %s" na (render ea) (render eb) :: acc) ra rb
+    in
+    go [] a b
+end

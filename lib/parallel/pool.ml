@@ -9,6 +9,14 @@
    leave headroom for the caller and anything else in the process. *)
 let max_spawned = 120
 
+(* occupancy metrics: every one of these depends on the worker count or
+   on scheduling luck, so none is a det metric *)
+let g_workers = Obs.Gauge.make "parallel.pool.workers"
+let g_peak_busy = Obs.Gauge.make "parallel.pool.peak_busy_workers"
+let m_batches = Obs.Counter.make ~det:false "parallel.pool.batches"
+let m_chunks = Obs.Counter.make ~det:false "parallel.pool.chunks"
+let busy_now = Atomic.make 0
+
 type t = {
   jobs : int; (* workers per batch, caller included *)
   mutex : Mutex.t;
@@ -64,6 +72,7 @@ let create ~jobs =
     }
   in
   pool.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker pool));
+  Obs.Gauge.set_max g_workers jobs;
   pool
 
 let shutdown pool =
@@ -82,6 +91,7 @@ let with_pool ~jobs f =
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
 let run_batch pool body =
+  Obs.Counter.incr m_batches;
   match pool.domains with
   | [] -> body ()
   | workers ->
@@ -102,10 +112,14 @@ let run_batch pool body =
 let run pool body =
   let failure = Atomic.make None in
   let guarded () =
-    try body ()
-    with e ->
-      let bt = Printexc.get_raw_backtrace () in
-      ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+    Obs.Gauge.set_max g_peak_busy (Atomic.fetch_and_add busy_now 1 + 1);
+    Fun.protect
+      ~finally:(fun () -> Atomic.decr busy_now)
+      (fun () ->
+        try body ()
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set failure None (Some (e, bt))))
   in
   run_batch pool guarded;
   match Atomic.get failure with
@@ -156,6 +170,7 @@ let init ?chunk ?progress pool n f =
           let start = Atomic.fetch_and_add cursor chunk in
           if start >= n then ()
           else begin
+            Obs.Counter.incr m_chunks;
             let stop = min n (start + chunk) in
             (try
                let i = ref start in

@@ -36,11 +36,13 @@ type outcome = No_miss | Miss of miss
 
 type stats = {
   iterations : int;
+  events_popped : int;
   jobs_released : int;
   jobs_completed : int;
+  elapsed_ticks : int;
   busy_column_ticks : int;
   contended_ticks : int;
-  min_busy_when_contended : int;
+  min_busy_when_contended : int option;
   nf_alpha_respected : bool;
   fkf_alpha_respected : bool;
   preemptions : int;
@@ -48,6 +50,18 @@ type stats = {
 }
 
 type result = { outcome : outcome; stats : stats; segments : segment list }
+
+(* process-wide run counters, accumulated once per [run] from the local
+   mutable stats so the simulation loop itself carries no atomics *)
+let m_runs = Obs.Counter.make "sim.engine.runs"
+let m_iterations = Obs.Counter.make "sim.engine.iterations"
+let m_events = Obs.Counter.make "sim.engine.events_popped"
+let m_segments = Obs.Counter.make "sim.engine.segments"
+let m_released = Obs.Counter.make "sim.engine.jobs_released"
+let m_completed = Obs.Counter.make "sim.engine.jobs_completed"
+let m_preemptions = Obs.Counter.make "sim.engine.preemptions"
+let m_placements = Obs.Counter.make "sim.engine.placements_made"
+let m_misses = Obs.Counter.make "sim.engine.deadline_misses"
 
 (* simulation events; completions are recomputed, not queued.  [seq]
    makes simultaneous events pop in push order, so jobs released at the
@@ -113,27 +127,32 @@ let select_contiguous (rule : Policy.fit_rule) strategy fpga_area placements ord
 
 (* --- engine --- *)
 
+module Iset = Set.Make (Int)
+
 type state = {
   cfg : config;
   taskset : Task.t array;
+  amax : int; (* widest task, fixed for the run (Lemma 1 bound) *)
   events : event Pqueue.t;
   sporadic : Rng.t option; (* delay source for sporadic arrivals *)
   mutable event_seq : int;
   mutable active : Job.t list; (* unfinished released jobs *)
   mutable next_id : int;
   placements : (int, Device.region) Hashtbl.t; (* contiguous mode only *)
-  mutable prev_running_ids : int list;
+  mutable prev_running : Iset.t;
   (* accumulating stats *)
   mutable iterations : int;
+  mutable events_popped : int;
   mutable jobs_released : int;
   mutable jobs_completed : int;
   mutable busy_column_ticks : int;
   mutable contended_ticks : int;
-  mutable min_busy_when_contended : int;
+  mutable min_busy_when_contended : int option;
   mutable nf_alpha_respected : bool;
   mutable fkf_alpha_respected : bool;
   mutable preemptions : int;
   mutable placements_made : int;
+  mutable segments_recorded : int;
   mutable segments : segment list;
 }
 
@@ -166,6 +185,7 @@ let process_events st ~now =
     match Pqueue.peek st.events with
     | Some ev when Time.(ev.at <= now) ->
       ignore (Pqueue.pop_exn st.events);
+      st.events_popped <- st.events_popped + 1;
       (match ev.kind with
        | Release task_index -> release_job st ~task_index ~at:ev.at
        | Deadline_check job ->
@@ -179,11 +199,13 @@ let record_segment st ~now ~next ~running ~waiting =
   let dt = Time.ticks (Time.sub next now) in
   let occupied = List.fold_left (fun acc p -> acc + Job.area p.job) 0 running in
   st.busy_column_ticks <- st.busy_column_ticks + (occupied * dt);
+  st.segments_recorded <- st.segments_recorded + 1;
   if waiting <> [] then begin
     st.contended_ticks <- st.contended_ticks + dt;
-    if occupied < st.min_busy_when_contended then st.min_busy_when_contended <- occupied;
-    let amax = Array.fold_left (fun acc (t : Task.t) -> max acc t.area) 0 st.taskset in
-    if occupied < st.cfg.fpga_area - (amax - 1) then st.fkf_alpha_respected <- false;
+    (match st.min_busy_when_contended with
+     | Some m when m <= occupied -> ()
+     | Some _ | None -> st.min_busy_when_contended <- Some occupied);
+    if occupied < st.cfg.fpga_area - (st.amax - 1) then st.fkf_alpha_respected <- false;
     List.iter
       (fun j ->
         if occupied < st.cfg.fpga_area - (Job.area j - 1) then st.nf_alpha_respected <- false)
@@ -209,18 +231,19 @@ let update_placements st running =
     Hashtbl.reset st.placements;
     Hashtbl.iter (fun id r -> Hashtbl.replace st.placements id r) selected
 
-let count_preemptions st running =
-  let running_ids = List.map (fun p -> p.job.Job.id) running in
-  let active_ids = List.map (fun j -> j.Job.id) st.active in
-  List.iter
+let count_preemptions st ~running_set =
+  let active_set =
+    List.fold_left (fun acc (j : Job.t) -> Iset.add j.Job.id acc) Iset.empty st.active
+  in
+  Iset.iter
     (fun id ->
       (* previously running, still active (unfinished), no longer running *)
-      if List.mem id active_ids && not (List.mem id running_ids) then
+      if Iset.mem id active_set && not (Iset.mem id running_set) then
         st.preemptions <- st.preemptions + 1)
-    st.prev_running_ids;
-  st.prev_running_ids <- running_ids
+    st.prev_running;
+  st.prev_running <- running_set
 
-let run cfg taskset =
+let run_inner cfg taskset =
   let tasks = Taskset.to_array taskset in
   let n = Array.length tasks in
   Array.iter
@@ -239,23 +262,26 @@ let run cfg taskset =
     {
       cfg;
       taskset = tasks;
+      amax = Array.fold_left (fun acc (t : Task.t) -> max acc t.area) 0 tasks;
       events = Pqueue.create ~cmp:event_cmp;
       sporadic = (match cfg.release with Sporadic { seed; _ } -> Some (Rng.create ~seed) | _ -> None);
       event_seq = 0;
       active = [];
       next_id = 0;
       placements = Hashtbl.create 64;
-      prev_running_ids = [];
+      prev_running = Iset.empty;
       iterations = 0;
+      events_popped = 0;
       jobs_released = 0;
       jobs_completed = 0;
       busy_column_ticks = 0;
       contended_ticks = 0;
-      min_busy_when_contended = max_int;
+      min_busy_when_contended = None;
       nf_alpha_respected = true;
       fkf_alpha_respected = true;
       preemptions = 0;
       placements_made = 0;
+      segments_recorded = 0;
       segments = [];
     }
   in
@@ -282,9 +308,11 @@ let run cfg taskset =
           select_contiguous cfg.policy.Policy.rule strategy cfg.fpga_area st.placements ordered
       in
       update_placements st running;
-      count_preemptions st running;
-      let running_ids = List.map (fun p -> p.job.Job.id) running in
-      let waiting = List.filter (fun j -> not (List.mem j.Job.id running_ids)) ordered in
+      let running_set =
+        List.fold_left (fun acc p -> Iset.add p.job.Job.id acc) Iset.empty running
+      in
+      count_preemptions st ~running_set;
+      let waiting = List.filter (fun j -> not (Iset.mem j.Job.id running_set)) ordered in
       (* next decision instant: next event, or earliest completion *)
       let next_event = match Pqueue.peek st.events with Some e -> e.at | None -> cfg.horizon in
       let next =
@@ -304,7 +332,7 @@ let run cfg taskset =
             st.jobs_completed <- st.jobs_completed + 1;
             st.active <- List.filter (fun a -> a.Job.id <> j.Job.id) st.active;
             Hashtbl.remove st.placements j.Job.id;
-            st.prev_running_ids <- List.filter (fun id -> id <> j.Job.id) st.prev_running_ids
+            st.prev_running <- Iset.remove j.Job.id st.prev_running
           end)
         running;
       now := next
@@ -313,8 +341,13 @@ let run cfg taskset =
   let stats =
     {
       iterations = st.iterations;
+      events_popped = st.events_popped;
       jobs_released = st.jobs_released;
       jobs_completed = st.jobs_completed;
+      (* time actually simulated: the horizon, or the instant the run
+         stopped on a deadline miss — the denominator for any per-time
+         average over this result *)
+      elapsed_ticks = Time.ticks !now;
       busy_column_ticks = st.busy_column_ticks;
       contended_ticks = st.contended_ticks;
       min_busy_when_contended = st.min_busy_when_contended;
@@ -324,10 +357,23 @@ let run cfg taskset =
       placements_made = st.placements_made;
     }
   in
+  if Obs.enabled () then begin
+    Obs.Counter.incr m_runs;
+    Obs.Counter.add m_iterations st.iterations;
+    Obs.Counter.add m_events st.events_popped;
+    Obs.Counter.add m_segments st.segments_recorded;
+    Obs.Counter.add m_released st.jobs_released;
+    Obs.Counter.add m_completed st.jobs_completed;
+    Obs.Counter.add m_preemptions st.preemptions;
+    Obs.Counter.add m_placements st.placements_made;
+    if !outcome <> No_miss then Obs.Counter.incr m_misses
+  end;
   { outcome = !outcome; stats; segments = List.rev st.segments }
+
+let run cfg taskset = Obs.Span.with_ ~name:"sim.engine.run" (fun () -> run_inner cfg taskset)
 
 let schedulable cfg taskset = (run cfg taskset).outcome = No_miss
 
-let average_busy_area result cfg =
-  let ticks = Time.ticks cfg.horizon in
+let average_busy_area result =
+  let ticks = result.stats.elapsed_ticks in
   if ticks = 0 then 0.0 else float_of_int result.stats.busy_column_ticks /. float_of_int ticks

@@ -57,12 +57,17 @@ type outcome = No_miss | Miss of miss
 
 type stats = {
   iterations : int;
+  events_popped : int;  (** release / deadline-check events processed *)
   jobs_released : int;
   jobs_completed : int;
+  elapsed_ticks : int;
+      (** time actually simulated: the full horizon, or less when the
+          run stopped early at a deadline miss — the denominator for
+          any per-time average over this result *)
   busy_column_ticks : int;  (** integral of occupied area over time, in column-ticks *)
   contended_ticks : int;  (** total time with a non-empty waiting queue *)
-  min_busy_when_contended : int;
-      (** minimum occupied area over contended time; [max_int] if never contended *)
+  min_busy_when_contended : int option;
+      (** minimum occupied area over contended time; [None] if never contended *)
   nf_alpha_respected : bool;
       (** every waiting job [Jk] always saw occupied area >= A(H)-(Ak-1) (Lemma 2) *)
   fkf_alpha_respected : bool;
@@ -80,5 +85,7 @@ val run : config -> Model.Taskset.t -> result
 val schedulable : config -> Model.Taskset.t -> bool
 (** [run] observed no deadline miss within the horizon. *)
 
-val average_busy_area : result -> config -> float
-(** Mean occupied columns over the simulated window. *)
+val average_busy_area : result -> float
+(** Mean occupied columns over the time actually simulated
+    ([stats.elapsed_ticks]), so a run that stopped early at a deadline
+    miss is averaged over its own window, not the configured horizon. *)

@@ -6,6 +6,13 @@ type outcome =
   | Too_many_combinations of { combinations : int }
   | Hyperperiod_too_large
 
+let m_searches = Obs.Counter.make "sim.exhaustive.searches"
+let m_combinations = Obs.Counter.make "sim.exhaustive.combinations"
+
+(* with early exit, how many combinations were actually simulated
+   depends on which worker finds the miss first *)
+let m_simulated = Obs.Counter.make ~det:false "sim.exhaustive.simulated"
+
 (* offsets per task: 0, grid, 2*grid, ... < T_i *)
 let offset_choices grid (task : Model.Task.t) =
   let g = Time.ticks grid and p = Time.ticks task.period in
@@ -30,8 +37,9 @@ let offsets_of_index choices idx =
   in
   go (Array.length choices - 1) idx []
 
-let search ?(grid = Time.of_units 1) ?(max_combinations = 20_000) ?(jobs = 1) ~fpga_area ~policy
-    ts =
+let search_inner ?(grid = Time.of_units 1) ?(max_combinations = 20_000) ?(jobs = 1) ~fpga_area
+    ~policy ts =
+  Obs.Counter.incr m_searches;
   match Model.Taskset.hyperperiod ts with
   | Model.Taskset.Exceeds_cap -> Hyperperiod_too_large
   | Model.Taskset.Finite hyper ->
@@ -42,7 +50,9 @@ let search ?(grid = Time.of_units 1) ?(max_combinations = 20_000) ?(jobs = 1) ~f
     let combinations = count_combinations choices in
     if combinations > max_combinations then Too_many_combinations { combinations }
     else begin
+      Obs.Counter.add m_combinations combinations;
       let try_offsets offsets =
+        Obs.Counter.incr m_simulated;
         let max_offset = List.fold_left Time.max Time.zero offsets in
         (* asynchronous periodic schedules need the transient plus a full
            steady-state period: simulate max offset + 2 hyper-periods *)
@@ -116,6 +126,10 @@ let search ?(grid = Time.of_units 1) ?(max_combinations = 20_000) ?(jobs = 1) ~f
         | None -> Schedulable_all_offsets { combinations }
       end
     end
+
+let search ?grid ?max_combinations ?jobs ~fpga_area ~policy ts =
+  Obs.Span.with_ ~name:"sim.exhaustive.search" (fun () ->
+      search_inner ?grid ?max_combinations ?jobs ~fpga_area ~policy ts)
 
 let sync_is_not_worst_case ?grid ?jobs ~fpga_area ~policy ts =
   let cfg = Engine.default_config ~fpga_area ~policy in

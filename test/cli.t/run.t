@@ -154,3 +154,33 @@ Several tasksets can be audited in one invocation (in parallel with
   warning[degenerate-utilization] task 1: C = T = 3: utilization is exactly 1, the task permanently occupies 6 columns
   audit witness.csv: 0 errors, 1 warning, 0 infos
   exit 0
+
+--metrics dumps a key-sorted JSON-lines snapshot of the run's metrics
+(on stderr by default, or into a file), without disturbing the normal
+output or exit status:
+
+  $ redf simulate table1.csv --area 10 --horizon 35 --metrics 2> metrics.jsonl | head -2
+  policy: EDF-NF, placement: migrating, horizon: 35 units
+  no deadline miss observed
+  $ grep '"kind":"counter"' metrics.jsonl | grep 'sim.engine' | head -3
+  {"det":true,"kind":"counter","name":"sim.engine.deadline_misses","value":0}
+  {"det":true,"kind":"counter","name":"sim.engine.events_popped","value":24}
+  {"det":true,"kind":"counter","name":"sim.engine.iterations","value":24}
+  $ grep -o '"name":"[^"]*"' metrics.jsonl | sort -c && echo sorted
+  sorted
+
+metrics-diff compares two snapshots; deterministic metrics must agree
+for any worker count, while timers may differ (full diff):
+
+  $ redf sweep fig3a --samples 5 --horizon 50 --csv -j 1 --metrics=sweep-j1.jsonl > /dev/null 2>&1
+  $ redf sweep fig3a --samples 5 --horizon 50 --csv -j 4 --metrics=sweep-j4.jsonl > /dev/null 2>&1
+  $ redf metrics-diff sweep-j1.jsonl sweep-j4.jsonl --det-only; echo "exit $?"
+  identical (deterministic metrics)
+  exit 0
+  $ redf metrics-diff sweep-j1.jsonl sweep-j1.jsonl; echo "exit $?"
+  identical
+  exit 0
+  $ redf metrics-diff sweep-j1.jsonl sweep-j4.jsonl | grep -c 'pool.workers'
+  1
+  $ redf metrics-diff sweep-j1.jsonl table1.csv 2> /dev/null; echo "exit $?"
+  exit 3

@@ -50,6 +50,71 @@ let immediate_overload () =
     Core_helpers.check_time "at first deadline" (Time.of_units 5) m.Engine.at
   | Engine.No_miss -> Alcotest.fail "expected a deadline miss"
 
+(* Early miss: the run stops at t=5 of a 40-unit horizon.  The busy
+   integral covers only the 5 simulated units (the task runs the whole
+   time at width 4), so the average must divide by the time actually
+   simulated — 4.0 columns — not by the full horizon (which gave 0.5). *)
+let average_busy_area_early_miss () =
+  let t = ts [ ("a", "6", "5", "5", 4) ] in
+  let r = Engine.run (config 10) t in
+  check_bool "misses" false (no_miss r);
+  check_int "elapsed stops at the miss" 5_000 r.Engine.stats.elapsed_ticks;
+  check_int "busy integral over [0,5)" (5 * 1000 * 4) r.Engine.stats.busy_column_ticks;
+  Alcotest.(check (float 1e-9)) "average over simulated time" 4.0 (Engine.average_busy_area r)
+
+(* A run that never contends reports no occupancy floor at all, rather
+   than a max_int sentinel. *)
+let min_busy_option () =
+  let t = ts [ ("a", "2", "5", "5", 4) ] in
+  let r = Engine.run (config 10 ~horizon:50) t in
+  check_bool "uncontended run has no floor" true
+    (r.Engine.stats.min_busy_when_contended = None);
+  (* and a contended run reports the real minimum: three tasks of
+     widths 6/6/4 on 10 columns always leave someone waiting while 10
+     columns are busy *)
+  let t = ts [ ("t1", "2", "4", "4", 6); ("t2", "2", "4", "4", 6); ("t3", "3", "4", "4", 4) ] in
+  let r = Engine.run (config 10 ~policy:Policy.edf_nf ~horizon:8) t in
+  check_bool "contended" true (r.Engine.stats.contended_ticks > 0);
+  match r.Engine.stats.min_busy_when_contended with
+  | Some floor -> check_int "floor is the full device" 10 floor
+  | None -> Alcotest.fail "expected an occupancy floor"
+
+(* Completing exactly at the deadline is on time: a saturated C = D = T
+   task never misses, under synchronous and offset releases alike. *)
+let completion_at_deadline () =
+  let t = ts [ ("a", "5", "5", "5", 4) ] in
+  let r = Engine.run (config 10 ~horizon:20) t in
+  check_bool "saturated task schedulable" true (no_miss r);
+  check_int "all jobs complete" 4 r.Engine.stats.jobs_completed;
+  let offset =
+    { (config 10 ~horizon:21) with Engine.release = Engine.Offsets [ Time.of_units 1 ] }
+  in
+  let r = Engine.run offset t in
+  check_bool "offset release schedulable" true (no_miss r);
+  check_int "offset jobs complete" 4 r.Engine.stats.jobs_completed
+
+(* A deadline falling exactly at the horizon is still checked, and a job
+   completing there is on time: no spurious miss from the ordering of
+   Deadline_check against completion at the final instant. *)
+let deadline_at_horizon () =
+  let t = ts [ ("a", "10", "10", "10", 4) ] in
+  let r = Engine.run (config 10 ~horizon:10) t in
+  check_bool "completion at the horizon deadline" true (no_miss r);
+  check_int "job completed" 1 r.Engine.stats.jobs_completed;
+  check_int "full horizon simulated" 10_000 r.Engine.stats.elapsed_ticks;
+  let t = ts [ ("a", "5", "5", "10", 4) ] in
+  let offset =
+    { (config 10 ~horizon:10) with Engine.release = Engine.Offsets [ Time.of_units 5 ] }
+  in
+  let r = Engine.run offset t in
+  check_bool "offset deadline at horizon met" true (no_miss r);
+  check_int "offset job completed" 1 r.Engine.stats.jobs_completed;
+  (* and an actual miss exactly at the horizon is still reported *)
+  let t = ts [ ("a", "10", "10", "10", 4); ("b", "10", "10", "10", 8) ] in
+  match (Engine.run (config 10 ~horizon:10) t).Engine.outcome with
+  | Engine.Miss m -> Core_helpers.check_time "miss at the horizon" (Time.of_units 10) m.Engine.at
+  | Engine.No_miss -> Alcotest.fail "expected a miss at the horizon"
+
 (* The Definition-1 vs Definition-2 separation: tau1 and tau2 are both
    6 columns wide (they cannot run together on 10), tau3 is 4 wide with
    C=3, D=4.  Under EDF-NF tau3 runs at time 0 next to tau1 and finishes
@@ -246,6 +311,11 @@ let () =
           Alcotest.test_case "single task" `Quick single_task;
           Alcotest.test_case "parallel tasks" `Quick parallel_tasks;
           Alcotest.test_case "immediate overload" `Quick immediate_overload;
+          Alcotest.test_case "average busy area after early miss" `Quick
+            average_busy_area_early_miss;
+          Alcotest.test_case "min busy option" `Quick min_busy_option;
+          Alcotest.test_case "completion at deadline" `Quick completion_at_deadline;
+          Alcotest.test_case "deadline at horizon" `Quick deadline_at_horizon;
           Alcotest.test_case "NF beats FkF" `Quick nf_beats_fkf;
           Alcotest.test_case "preemption counted" `Quick preemption_counted;
           Alcotest.test_case "alpha flags" `Quick alpha_flags;
