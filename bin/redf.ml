@@ -8,6 +8,8 @@
      tables    reproduce the paper's Tables 1-3
      lint      static lint pass over a taskset CSV
      audit     lint + cross-analyzer soundness audit against simulation
+     serve     analysis service: line-oriented JSON over stdio or a socket
+     batch     evaluate a file of service requests (in-process or --connect)
 
    Long-running subcommands accept --metrics[=FILE] to dump a runtime
    metrics snapshot (JSON lines); metrics-diff compares two of them. *)
@@ -49,12 +51,31 @@ let horizon_arg =
 let jobs_arg =
   Arg.(
     value
-    & opt int (Parallel.default_jobs ())
+    & opt (some int) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for parallel execution: a positive count, or 0 for one per core. \
            Defaults to $(b,REDF_JOBS) (same convention), else 1 (serial). Output is \
            byte-identical for every $(docv).")
+
+(* -j / REDF_JOBS is validated here at the CLI boundary: a negative
+   count or a garbage environment value is a usage error (exit 2), not
+   a silent fall-back to serial *)
+let validate_jobs jobs_opt =
+  match jobs_opt with
+  | Some n when n >= 0 -> Ok n
+  | Some n ->
+    Error (Printf.sprintf "invalid --jobs %d: expected a positive worker count or 0 (one per core)" n)
+  | None -> Parallel.jobs_of_env ()
+
+(* run [f ~jobs] with the validated worker count, or report the usage
+   error; [~jobs] keeps the CLI's 0 = one-per-core convention *)
+let with_jobs jobs_opt f =
+  match validate_jobs jobs_opt with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
+  | Ok jobs -> f ~jobs
 
 (* --- metrics --- *)
 
@@ -114,13 +135,23 @@ let sexp_arg =
 let strict_arg =
   Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as errors for the exit status.")
 
-let print_report ~label ~sexp report =
-  if sexp then Format.printf "%a@." Audit.Driver.pp_sexp report
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+    & info [ "format" ] ~docv:"human|json"
+        ~doc:
+          "Output format: the default human rendering, or the canonical JSON the analysis \
+           service emits (one key-sorted object; see $(b,redf serve)).")
+
+let print_report ~label ~sexp ?(json = false) report =
+  if json then print_endline (Core.Json.to_string (Audit.Driver.to_json ~kind:label report))
+  else if sexp then Format.printf "%a@." Audit.Driver.pp_sexp report
   else Format.printf "%a@." (Audit.Driver.pp ~label) report
 
 (* a malformed taskset is itself a lint finding: report it in the same
-   two formats and exit 2 like any other error-level diagnostic *)
-let parse_failure ~label ~sexp msg =
+   formats and exit 2 like any other error-level diagnostic *)
+let parse_failure ~label ~sexp ?json msg =
   let report =
     {
       Audit.Driver.fpga_area = 0;
@@ -128,19 +159,20 @@ let parse_failure ~label ~sexp msg =
       findings = [];
     }
   in
-  print_report ~label ~sexp report;
+  print_report ~label ~sexp ?json report;
   2
 
 let lint_cmd =
-  let run path fpga_area sexp strict =
+  let run path fpga_area sexp format strict =
+    let json = format = `Json in
     match load_taskset path with
-    | Error msg -> parse_failure ~label:"lint" ~sexp msg
+    | Error msg -> parse_failure ~label:"lint" ~sexp ~json msg
     | Ok ts ->
       let report = Audit.Driver.lint_only ~fpga_area ts in
-      print_report ~label:"lint" ~sexp report;
+      print_report ~label:"lint" ~sexp ~json report;
       Audit.Driver.exit_code ~strict report
   in
-  let term = Term.(const run $ taskset_arg $ area_arg $ sexp_arg $ strict_arg) in
+  let term = Term.(const run $ taskset_arg $ area_arg $ sexp_arg $ format_arg $ strict_arg) in
   let info =
     Cmd.info "lint"
       ~doc:"Statically lint a taskset"
@@ -160,6 +192,7 @@ let lint_cmd =
 let audit_cmd =
   let run paths fpga_area sexp strict cap_units seed inject_unsound no_shrink fixture_dir jobs
       metrics =
+    with_jobs jobs @@ fun ~jobs ->
     with_metrics metrics @@ fun () ->
     let config =
       {
@@ -295,45 +328,63 @@ let audit_cmd =
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run path fpga_area all metrics =
+  let run path fpga_area all analyzer_names format metrics =
     with_metrics metrics @@ fun () ->
     match load_taskset path with
     | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       1
-    | Ok ts ->
-      let tests =
-        if all then
-          [
-            Core.Dp.decide;
-            Core.Dp.decide_original;
-            Core.Gn1.decide;
-            Core.Gn1.decide_printed;
-            Core.Gn2.decide;
-          ]
-        else [ Core.Dp.decide; Core.Gn1.decide; Core.Gn2.decide ]
+    | Ok ts -> (
+      let analyzers =
+        match analyzer_names with
+        | Some names -> Core.Analyzer.of_names names
+        | None ->
+          Ok
+            (if all then Core.Analyzer.[ dp; dp_original; gn1; gn1_printed; gn2 ]
+             else Core.Analyzer.defaults)
       in
-      let report = Core.Report.run ~tests ~fpga_area ts in
-      Format.printf "%a@." Core.Report.pp report;
-      (match Core.Feasibility.check ~fpga_area ts with
-       | [] -> Format.printf "necessary conditions: all satisfied@."
-       | violations ->
-         Format.printf "INFEASIBLE under any scheduler:@.";
-         List.iter (Format.printf "  %a@." Core.Feasibility.pp_violation) violations);
-      let plan = Core.Partitioned.first_fit_decreasing ~fpga_area ts in
-      Format.printf "partitioned, density test (first-fit decreasing): %s@,%a@."
-        (if Core.Partitioned.schedulable plan then "ACCEPT" else "REJECT")
-        Core.Partitioned.pp plan;
-      Format.printf "partitioned, exact demand-bound test: %s@."
-        (if Core.Partitioned.accepts ~test:Core.Partitioned.Demand_bound ~fpga_area ts then
-           "ACCEPT"
-         else "REJECT");
-      if Core.Composite.edf_nf_any ~fpga_area ts then 0 else 2
+      match analyzers with
+      | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        2
+      | Ok analyzers ->
+        let report = Core.Report.run ~analyzers ~fpga_area ts in
+        (match format with
+         | `Json -> print_endline (Core.Json.to_string (Core.Report.to_json report))
+         | `Human ->
+           Format.printf "%a@." Core.Report.pp report;
+           (match Core.Feasibility.check ~fpga_area ts with
+            | [] -> Format.printf "necessary conditions: all satisfied@."
+            | violations ->
+              Format.printf "INFEASIBLE under any scheduler:@.";
+              List.iter (Format.printf "  %a@." Core.Feasibility.pp_violation) violations);
+           let plan = Core.Partitioned.first_fit_decreasing ~fpga_area ts in
+           Format.printf "partitioned, density test (first-fit decreasing): %s@,%a@."
+             (if Core.Partitioned.schedulable plan then "ACCEPT" else "REJECT")
+             Core.Partitioned.pp plan;
+           Format.printf "partitioned, exact demand-bound test: %s@."
+             (if Core.Partitioned.accepts ~test:Core.Partitioned.Demand_bound ~fpga_area ts then
+                "ACCEPT"
+              else "REJECT"));
+        if Core.Composite.edf_nf_any ~fpga_area ts then 0 else 2)
   in
   let all_arg =
     Arg.(value & flag & info [ "all" ] ~doc:"Also run the uncorrected/printed test variants.")
   in
-  let term = Term.(const run $ taskset_arg $ area_arg $ all_arg $ metrics_arg) in
+  let analyzer_names_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "analyzer" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated registry names to run instead of the defaults (see the Analyzer \
+             registry: DP, DP-original, GN1, GN1-printed, GN2, NEC; case-insensitive). \
+             Overrides $(b,--all).")
+  in
+  let term =
+    Term.(
+      const run $ taskset_arg $ area_arg $ all_arg $ analyzer_names_arg $ format_arg $ metrics_arg)
+  in
   let info =
     Cmd.info "analyze"
       ~doc:"Run the schedulability tests on a taskset"
@@ -343,8 +394,10 @@ let analyze_cmd =
           `P
             "Runs DP (Theorem 1), GN1 (Theorem 2), GN2 (Theorem 3) and the partitioned \
              first-fit-decreasing baseline on the taskset, printing per-task exact \
-             left/right-hand sides. Exit status 0 when at least one EDF-NF test accepts, 2 when \
-             all reject.";
+             left/right-hand sides. With $(b,--format json) the report is one canonical JSON \
+             object whose per-analyzer verdicts are byte-identical to the analysis service's \
+             responses ($(b,redf serve)). Exit status 0 when at least one EDF-NF test accepts, \
+             2 when all reject.";
         ]
   in
   Cmd.v info term
@@ -464,6 +517,7 @@ let generate_cmd =
 
 let sweep_cmd =
   let run figure_name samples seed horizon csv jobs metrics =
+    with_jobs jobs @@ fun ~jobs ->
     with_metrics metrics @@ fun () ->
     match
       List.find_opt (fun f -> Experiment.Figures.id f = figure_name) Experiment.Figures.all
@@ -508,6 +562,7 @@ let sweep_cmd =
 
 let exhaustive_cmd =
   let run path fpga_area policy_name grid_ticks max_combinations jobs metrics =
+    with_jobs jobs @@ fun ~jobs ->
     with_metrics metrics @@ fun () ->
     match load_taskset path with
     | Error msg ->
@@ -638,6 +693,145 @@ let metrics_diff_cmd =
   in
   Cmd.v info term
 
+(* --- serve / batch --- *)
+
+let cache_size_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "cache-size" ] ~docv:"N"
+        ~doc:
+          "Verdict-cache capacity in entries (canonical tasksets, LRU eviction); 0 disables \
+           caching. Cached answers are byte-identical to uncached ones.")
+
+let require_cache_size cache_size k =
+  if cache_size < 0 then begin
+    Printf.eprintf "error: invalid --cache-size %d: expected a non-negative entry count\n"
+      cache_size;
+    2
+  end
+  else k ()
+
+let serve_cmd =
+  let run socket cache_size timeout jobs metrics =
+    with_jobs jobs @@ fun ~jobs ->
+    require_cache_size cache_size @@ fun () ->
+    with_metrics metrics @@ fun () ->
+    Server.Engine.with_engine ~cache_size ~jobs @@ fun engine ->
+    Server.Engine.install_stop_signals engine;
+    (match socket with
+     | None -> Server.Engine.serve engine ?timeout ~input:Unix.stdin ~output:Unix.stdout ()
+     | Some path -> Server.Engine.serve_socket engine ?timeout ~path ());
+    0
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) instead of serving stdin/stdout; the \
+             socket file is removed on shutdown.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Drop a partially received request line after $(docv) seconds with an error \
+             response. Idle connections never time out.")
+  in
+  let term =
+    Term.(const run $ socket_arg $ cache_size_arg $ timeout_arg $ jobs_arg $ metrics_arg)
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:"Run the analysis service (line-oriented JSON requests)"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Reads one JSON request per line — \
+             {\"analyzer\":\"GN2\",\"fpga_area\":10,\"tasks\":[{\"C\":\"1.26\",\"D\":\"7\",\"T\":\"7\",\"A\":9},...]} \
+             — and writes one JSON verdict line per request, in request order, over stdin/stdout \
+             or a Unix-domain socket ($(b,--socket)). Verdicts are cached under a canonical \
+             taskset key (task order and names do not matter), so repeated queries are answered \
+             from the LRU cache with byte-identical output. A malformed request yields an error \
+             response and never terminates the service; SIGINT/SIGTERM drain the requests \
+             already received before exiting. Responses match $(b,redf analyze --format json) \
+             verdict for verdict.";
+        ]
+  in
+  Cmd.v info term
+
+let batch_cmd =
+  let run file connect cache_size jobs metrics =
+    with_jobs jobs @@ fun ~jobs ->
+    require_cache_size cache_size @@ fun () ->
+    with_metrics metrics @@ fun () ->
+    match
+      if file = "-" then Ok (In_channel.input_all stdin)
+      else match read_file file with s -> Ok s | exception Sys_error msg -> Error msg
+    with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Ok contents -> (
+      let lines =
+        String.split_on_char '\n' contents
+        |> List.filter (fun l -> String.trim l <> "")
+        |> Array.of_list
+      in
+      let responses =
+        match connect with
+        | Some path -> Server.Engine.client_roundtrip ~path lines
+        | None ->
+          Server.Engine.with_engine ~cache_size ~jobs @@ fun engine ->
+          Ok (Server.Engine.handle_lines engine lines)
+      in
+      match responses with
+      | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+      | Ok responses ->
+        Array.iter print_endline responses;
+        0)
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUESTS.jsonl"
+          ~doc:"File of request lines (same schema as $(b,redf serve)); $(b,-) reads stdin.")
+  in
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"PATH"
+          ~doc:
+            "Send the batch to a running $(b,redf serve --socket) $(docv) instead of evaluating \
+             in-process.")
+  in
+  let term =
+    Term.(const run $ file_arg $ connect_arg $ cache_size_arg $ jobs_arg $ metrics_arg)
+  in
+  let info =
+    Cmd.info "batch"
+      ~doc:"Evaluate a file of analysis-service requests"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Answers every request line of the file (blank lines ignored) and prints one \
+             response line per request, in request order — exactly the lines $(b,redf serve) \
+             would produce. By default the batch is evaluated in-process, sharing the verdict \
+             cache and fanning out over $(b,-j) worker domains; with $(b,--connect) it is \
+             pipelined to a running server over its Unix-domain socket.";
+        ]
+  in
+  Cmd.v info term
+
 let main_cmd =
   let doc = "schedulability analysis of EDF scheduling on reconfigurable hardware" in
   let info =
@@ -661,6 +855,8 @@ let main_cmd =
       exhaustive_cmd;
       lint_cmd;
       audit_cmd;
+      serve_cmd;
+      batch_cmd;
       metrics_diff_cmd;
     ]
 

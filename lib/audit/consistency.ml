@@ -7,18 +7,18 @@ type scheduler = Edf_nf | Edf_fkf
 let scheduler_name = function Edf_nf -> "EDF-NF" | Edf_fkf -> "EDF-FkF"
 let policy_of = function Edf_nf -> Sim.Policy.edf_nf | Edf_fkf -> Sim.Policy.edf_fkf
 
-type analyzer = {
-  name : string;
-  decide : fpga_area:int -> Model.Taskset.t -> Core.Verdict.t;
-  sound_for : scheduler list;
-}
+type analyzer = { base : Core.Analyzer.t; sound_for : scheduler list }
 
-(* DP proves EDF-FkF schedulability and, by Danne's dominance theorem,
+let analyzer_name a = a.base.Core.Analyzer.name
+let analyzer_decide a = a.base.Core.Analyzer.decide
+
+(* the registry's analyzers tagged with their soundness claims: DP
+   proves EDF-FkF schedulability and, by Danne's dominance theorem,
    EDF-NF; GN1 proves EDF-NF (Theorem 2); GN2 proves EDF-FkF and,
    explicitly by Theorem 3, EDF-NF. *)
-let dp = { name = "DP"; decide = Core.Dp.decide; sound_for = [ Edf_fkf; Edf_nf ] }
-let gn1 = { name = "GN1"; decide = Core.Gn1.decide; sound_for = [ Edf_nf ] }
-let gn2 = { name = "GN2"; decide = Core.Gn2.decide; sound_for = [ Edf_fkf; Edf_nf ] }
+let dp = { base = Core.Analyzer.dp; sound_for = [ Edf_fkf; Edf_nf ] }
+let gn1 = { base = Core.Analyzer.gn1; sound_for = [ Edf_nf ] }
+let gn2 = { base = Core.Analyzer.gn2; sound_for = [ Edf_fkf; Edf_nf ] }
 let paper_analyzers = [ dp; gn1; gn2 ]
 
 let always_accept ~name ~sound_for =
@@ -37,7 +37,10 @@ let always_accept ~name ~sound_for =
     in
     Core.Verdict.make ~test_name:name ~checks
   in
-  { name; decide; sound_for }
+  {
+    base = { Core.Analyzer.name; cite = "deliberately unsound stub"; version = "0"; decide };
+    sound_for;
+  }
 
 type finding = {
   severity : Diagnostic.severity;
@@ -192,19 +195,20 @@ let trace_findings config scheduler ts =
       lemma
 
 let unsound_check config analyzer scheduler release ts =
-  if not (Core.Verdict.accepted (analyzer.decide ~fpga_area:config.fpga_area ts)) then []
+  let decide = analyzer_decide analyzer in
+  if not (Core.Verdict.accepted (decide ~fpga_area:config.fpga_area ts)) then []
   else
     match misses config scheduler release ts with
     | None -> []
     | Some m ->
       let exhibits candidate =
         Taskset.fits candidate ~fpga_area:config.fpga_area
-        && Core.Verdict.accepted (analyzer.decide ~fpga_area:config.fpga_area candidate)
+        && Core.Verdict.accepted (decide ~fpga_area:config.fpga_area candidate)
         && misses config scheduler release candidate <> None
       in
       let counterexample = if config.shrink then shrink_counterexample ~exhibits ts else ts in
       [
-        finding ~analyzer:analyzer.name ~scheduler ~counterexample ~rule:"unsound-accept"
+        finding ~analyzer:(analyzer_name analyzer) ~scheduler ~counterexample ~rule:"unsound-accept"
           (Format.asprintf "ACCEPT but task %d misses its deadline at t=%a under %s release"
              (m.Engine.task_index + 1) Time.pp m.Engine.at (release_name release));
       ]

@@ -46,3 +46,24 @@ let pp ?(label = "audit") fmt r =
   Format.fprintf fmt "@[<v>%a%s@]" Diagnostic.pp_list (diagnostics r) (summary ~label r)
 
 let pp_sexp fmt r = Diagnostic.pp_sexp_list fmt (diagnostics r)
+
+let diagnostic_json (d : Diagnostic.t) =
+  let open Core.Json in
+  Obj
+    ([
+       ("severity", String (Diagnostic.severity_name d.severity));
+       ("rule", String d.rule);
+     ]
+    @ (match d.task_index with Some i -> [ ("task", Int (i + 1)) ] | None -> [])
+    @ [ ("message", String d.message) ])
+
+let to_json ?(kind = "audit") r =
+  let open Core.Json in
+  Obj
+    [
+      ("schema_version", Int Core.Verdict.schema_version);
+      ("kind", String kind);
+      ("fpga_area", Int r.fpga_area);
+      ("clean", Bool (clean r));
+      ("diagnostics", List (List.map diagnostic_json (diagnostics r)));
+    ]

@@ -38,3 +38,10 @@ val pp : ?label:string -> Format.formatter -> report -> unit
     [label] defaults to ["audit"]. *)
 
 val pp_sexp : Format.formatter -> report -> unit
+
+val to_json : ?kind:string -> report -> Core.Json.t
+(** The report as canonical JSON (the [--format json] form): the
+    shared [schema_version], [kind] (default ["audit"]; [redf lint]
+    passes ["lint"]), [fpga_area], [clean] (non-strict), and the
+    severity-sorted diagnostics — [task] fields are 1-based, matching
+    the human rendering. *)

@@ -1,0 +1,44 @@
+let compare_tasks (a : Model.Task.t) (b : Model.Task.t) =
+  let t = Model.Time.ticks in
+  let c = Int.compare (t a.Model.Task.exec) (t b.Model.Task.exec) in
+  if c <> 0 then c
+  else
+    let c = Int.compare (t a.Model.Task.deadline) (t b.Model.Task.deadline) in
+    if c <> 0 then c
+    else
+      let c = Int.compare (t a.Model.Task.period) (t b.Model.Task.period) in
+      if c <> 0 then c else Int.compare a.Model.Task.area b.Model.Task.area
+
+let order ts =
+  let tasks = Model.Taskset.to_array ts in
+  let idx = Array.init (Array.length tasks) Fun.id in
+  (* stable: ties sort by original index, so equal tasks keep their
+     relative order and the permutation is deterministic *)
+  Array.sort
+    (fun i j ->
+      let c = compare_tasks tasks.(i) tasks.(j) in
+      if c <> 0 then c else Int.compare i j)
+    idx;
+  idx
+
+let apply order ts =
+  Model.Taskset.of_list
+    (Array.to_list
+       (Array.map (fun i -> { (Model.Taskset.nth ts i) with Model.Task.name = "" }) order))
+
+let key ~analyzer ~fpga_area ts =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf analyzer.Core.Analyzer.name;
+  Buffer.add_char buf '\x00';
+  Buffer.add_string buf analyzer.Core.Analyzer.version;
+  Buffer.add_string buf (Printf.sprintf "\x00%d\x00" fpga_area);
+  let tasks = Model.Taskset.to_array ts in
+  Array.iter
+    (fun i ->
+      let task = tasks.(i) in
+      let t = Model.Time.ticks in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d;" (t task.Model.Task.exec) (t task.Model.Task.deadline)
+           (t task.Model.Task.period) task.Model.Task.area))
+    (order ts);
+  Buffer.contents buf

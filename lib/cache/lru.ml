@@ -1,0 +1,145 @@
+(* Classic Hashtbl + doubly-linked recency list.  [first] is the most
+   recently used entry, [last] the eviction candidate; every mutation
+   happens under [mutex]. *)
+
+type 'v node = {
+  nkey : string;
+  mutable nvalue : 'v;
+  mutable prev : 'v node option;  (* towards [first] *)
+  mutable next : 'v node option;  (* towards [last] *)
+}
+
+type 'v t = {
+  mutex : Mutex.t;
+  cap : int;
+  table : (string, 'v node) Hashtbl.t;
+  mutable first : 'v node option;
+  mutable last : 'v node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  m_hits : Obs.Counter.t;
+  m_misses : Obs.Counter.t;
+  m_evictions : Obs.Counter.t;
+  m_size : Obs.Gauge.t;
+}
+
+let create ?(metrics_prefix = "cache") ~capacity () =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  {
+    mutex = Mutex.create ();
+    cap = capacity;
+    table = Hashtbl.create (max 16 capacity);
+    first = None;
+    last = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    (* duplicate requests race to compute under parallel serving, so
+       the split between hits and misses depends on the worker count *)
+    m_hits = Obs.Counter.make ~det:false (metrics_prefix ^ ".hits");
+    m_misses = Obs.Counter.make ~det:false (metrics_prefix ^ ".misses");
+    m_evictions = Obs.Counter.make ~det:false (metrics_prefix ^ ".evictions");
+    m_size = Obs.Gauge.make (metrics_prefix ^ ".size");
+  }
+
+let capacity t = t.cap
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n
+
+(* --- list surgery (caller holds the mutex) --- *)
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.first <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.last <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.first;
+  (match t.first with Some f -> f.prev <- Some node | None -> t.last <- Some node);
+  t.first <- Some node
+
+let find t key =
+  if t.cap = 0 then begin
+    Mutex.lock t.mutex;
+    t.misses <- t.misses + 1;
+    Mutex.unlock t.mutex;
+    Obs.Counter.incr t.m_misses;
+    None
+  end
+  else begin
+    Mutex.lock t.mutex;
+    let result =
+      match Hashtbl.find_opt t.table key with
+      | Some node ->
+        t.hits <- t.hits + 1;
+        unlink t node;
+        push_front t node;
+        Some node.nvalue
+      | None ->
+        t.misses <- t.misses + 1;
+        None
+    in
+    Mutex.unlock t.mutex;
+    (match result with
+     | Some _ -> Obs.Counter.incr t.m_hits
+     | None -> Obs.Counter.incr t.m_misses);
+    result
+  end
+
+let put t key value =
+  if t.cap > 0 then begin
+    Mutex.lock t.mutex;
+    let evicted =
+      match Hashtbl.find_opt t.table key with
+      | Some node ->
+        node.nvalue <- value;
+        unlink t node;
+        push_front t node;
+        false
+      | None ->
+        let evicted =
+          if Hashtbl.length t.table >= t.cap then begin
+            match t.last with
+            | Some lru ->
+              unlink t lru;
+              Hashtbl.remove t.table lru.nkey;
+              t.evictions <- t.evictions + 1;
+              true
+            | None -> false
+          end
+          else false
+        in
+        let node = { nkey = key; nvalue = value; prev = None; next = None } in
+        Hashtbl.add t.table key node;
+        push_front t node;
+        evicted
+    in
+    let size = Hashtbl.length t.table in
+    Mutex.unlock t.mutex;
+    if evicted then Obs.Counter.incr t.m_evictions;
+    Obs.Gauge.set t.m_size size
+  end
+
+type stats = { hits : int; misses : int; evictions : int }
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = { hits = t.hits; misses = t.misses; evictions = t.evictions } in
+  Mutex.unlock t.mutex;
+  s
+
+let keys_mru t =
+  Mutex.lock t.mutex;
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some node -> go (node.nkey :: acc) node.next
+  in
+  let keys = go [] t.first in
+  Mutex.unlock t.mutex;
+  keys

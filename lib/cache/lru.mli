@@ -1,0 +1,45 @@
+(** A size-bounded, domain-safe LRU map with observability counters.
+
+    One mutex serializes every operation, so a cache is safe to share
+    across the {!Parallel} pool's worker domains; operations are O(1)
+    (hash lookup plus doubly-linked-list splicing), so the lock is held
+    for nanoseconds and the map never becomes the bottleneck of an
+    analysis that takes microseconds.
+
+    The lock is {e not} held while a caller computes a missing value:
+    {!find} and {!put} are separate, so two workers racing on the same
+    key may both compute it — wasteful but harmless when values are
+    deterministic functions of the key, which is the contract here.
+
+    Hit/miss/eviction counts are kept both internally ({!stats}, always
+    on, for programmatic assertions) and as {!Obs} counters under
+    [<metrics_prefix>.hits/.misses/.evictions] plus a
+    [<metrics_prefix>.size] gauge (visible in [--metrics] snapshots;
+    tagged non-deterministic, since racing workers can turn one miss
+    into two). *)
+
+type 'v t
+
+val create : ?metrics_prefix:string -> capacity:int -> unit -> 'v t
+(** [capacity] is the maximum number of entries; [0] disables the cache
+    entirely (every {!find} misses, {!put} is a no-op).
+    [metrics_prefix] defaults to ["cache"]; two caches sharing a prefix
+    share counters.
+    @raise Invalid_argument when [capacity < 0]. *)
+
+val capacity : 'v t -> int
+val length : 'v t -> int
+
+val find : 'v t -> string -> 'v option
+(** Lookup; a hit promotes the entry to most-recently-used. *)
+
+val put : 'v t -> string -> 'v -> unit
+(** Insert or overwrite (either way the entry becomes most recent);
+    evicts the least-recently-used entry when full. *)
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val stats : 'v t -> stats
+
+val keys_mru : 'v t -> string list
+(** Keys from most- to least-recently used (for tests). *)

@@ -1,0 +1,32 @@
+type t = { lru : Core.Verdict.t Lru.t }
+
+let create ?metrics_prefix ~capacity () = { lru = Lru.create ?metrics_prefix ~capacity () }
+
+(* the cached verdict's checks index the canonical taskset: check at
+   canonical position [p] belongs to original task [order.(p)] *)
+let remap order (v : Core.Verdict.t) =
+  let checks =
+    List.map
+      (fun (c : Core.Verdict.task_check) ->
+        { c with Core.Verdict.task_index = order.(c.Core.Verdict.task_index) })
+      v.Core.Verdict.checks
+    |> List.sort (fun (a : Core.Verdict.task_check) b ->
+           Int.compare a.Core.Verdict.task_index b.Core.Verdict.task_index)
+  in
+  Core.Verdict.make ~test_name:v.Core.Verdict.test_name ~checks
+
+let decide t ~analyzer ~fpga_area ts =
+  let key = Canonical.key ~analyzer ~fpga_area ts in
+  let order = Canonical.order ts in
+  let canonical_verdict =
+    match Lru.find t.lru key with
+    | Some v -> v
+    | None ->
+      let v = analyzer.Core.Analyzer.decide ~fpga_area (Canonical.apply order ts) in
+      Lru.put t.lru key v;
+      v
+  in
+  remap order canonical_verdict
+
+let stats t = Lru.stats t.lru
+let length t = Lru.length t.lru

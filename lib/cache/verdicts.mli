@@ -1,0 +1,27 @@
+(** The verdict cache: {!Canonical} keys over an {!Lru} of verdicts.
+
+    A cached answer must be byte-for-byte the answer a fresh
+    computation would give.  Verdicts carry per-task checks in taskset
+    order, and the cache is deliberately blind to task order — so the
+    cache stores the verdict of the {e canonical} taskset (tasks
+    sorted, names dropped) and, per request, maps the check indices
+    back through the request's sort permutation.  Every per-task
+    quantity in a verdict (lhs, rhs, note) depends only on that task's
+    parameters and the multiset of the others, so the remapped verdict
+    equals the directly computed one exactly — a property
+    [test_cache.ml] asserts against randomized tasksets.
+
+    Safe to share across worker domains ({!Lru}'s locking). *)
+
+type t
+
+val create : ?metrics_prefix:string -> capacity:int -> unit -> t
+(** See {!Lru.create}; [metrics_prefix] defaults to ["cache"]. *)
+
+val decide : t -> analyzer:Core.Analyzer.t -> fpga_area:int -> Model.Taskset.t -> Core.Verdict.t
+(** [analyzer.decide ~fpga_area ts], served from the cache when an
+    equivalent request (any task order / names) was already answered
+    for this analyzer name+version and device area. *)
+
+val stats : t -> Lru.stats
+val length : t -> int

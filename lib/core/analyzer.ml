@@ -1,0 +1,98 @@
+type t = {
+  name : string;
+  cite : string;
+  version : string;
+  decide : fpga_area:int -> Model.Taskset.t -> Verdict.t;
+}
+
+let guan = "Guan, Gu, Deng, Liu, Yu (IPDPS 2007)"
+
+let dp =
+  {
+    name = "DP";
+    cite = "Theorem 1, " ^ guan ^ ", after Danne & Platzner";
+    version = "1";
+    decide = Dp.decide;
+  }
+
+let dp_original =
+  {
+    name = "DP-original";
+    cite = "Danne & Platzner's uncorrected bound (real-valued areas)";
+    version = "1";
+    decide = Dp.decide_original;
+  }
+
+let gn1 =
+  {
+    name = "GN1";
+    cite = "Theorem 2, " ^ guan ^ " (strict inequality, DESIGN.md section 2)";
+    version = "1";
+    decide = Gn1.decide;
+  }
+
+let gn1_printed =
+  {
+    name = "GN1-printed";
+    cite = "Theorem 2 as printed ((A(H) - A_k) bound constant)";
+    version = "1";
+    decide = Gn1.decide_printed;
+  }
+
+let gn2 =
+  {
+    name = "GN2";
+    cite = "Theorem 3, " ^ guan ^ " (typo-corrected, DESIGN.md section 2)";
+    version = "1";
+    decide = Gn2.decide;
+  }
+
+(* the necessary conditions phrased as an analyzer so sweeps and the
+   server can serve them; an empty check list encodes "nothing to
+   refute" and the note carries the violated conditions *)
+let nec_decide ~fpga_area ts =
+  match Feasibility.check ~fpga_area ts with
+  | [] -> Verdict.make ~test_name:"NEC" ~checks:[]
+  | violations ->
+    let note =
+      String.concat "; "
+        (List.map (Format.asprintf "%a" Feasibility.pp_violation) violations)
+    in
+    Verdict.reject_all ~test_name:"NEC" ~note ts
+
+let nec =
+  {
+    name = "NEC";
+    cite = "necessary feasibility conditions (infeasible under any scheduler when violated)";
+    version = "1";
+    decide = nec_decide;
+  }
+
+let defaults = [ dp; gn1; gn2 ]
+let all = defaults @ [ dp_original; gn1_printed; nec ]
+
+let of_name name =
+  let target = String.lowercase_ascii (String.trim name) in
+  match List.find_opt (fun a -> String.lowercase_ascii a.name = target) all with
+  | Some a -> Ok a
+  | None ->
+    Error
+      (Printf.sprintf "unknown analyzer %S (use %s)" name
+         (String.concat ", " (List.map (fun a -> a.name) all)))
+
+let of_names names =
+  let parts =
+    String.split_on_char ',' names |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if parts = [] then Error "no analyzer named"
+  else
+    List.fold_left
+      (fun acc part ->
+        match (acc, of_name part) with
+        | Error _, _ -> acc
+        | Ok _, Error e -> Error e
+        | Ok l, Ok a -> Ok (l @ [ a ]))
+      (Ok []) parts
+
+let accepts a ~fpga_area ts = Verdict.accepted (a.decide ~fpga_area ts)

@@ -1,0 +1,54 @@
+(** First-class schedulability analyzers and their registry.
+
+    Everything that consumes an analyzer — [redf analyze], the
+    acceptance-ratio sweeps, the soundness audit, the analysis server —
+    routes through this one type instead of threading bare
+    [fpga_area -> taskset -> Verdict.t] functions around, so a new test
+    is added in exactly one place and every front end (and the verdict
+    cache, which keys on [name]/[version]) picks it up.
+
+    [version] identifies the decision procedure, not the code revision:
+    it must be bumped whenever the analyzer could return a different
+    verdict for some input (e.g. a corrected bound), because cached
+    verdicts are shared across processes lifetimes keyed by it. *)
+
+type t = {
+  name : string;  (** stable identifier, also the verdict's [test_name] *)
+  cite : string;  (** where the test comes from (paper, theorem) *)
+  version : string;  (** decision-procedure version; part of cache keys *)
+  decide : fpga_area:int -> Model.Taskset.t -> Verdict.t;
+}
+
+val dp : t
+(** Theorem 1 (Danne & Platzner's bound, integer-area corrected). *)
+
+val dp_original : t
+(** Danne & Platzner's uncorrected bound, kept as a baseline. *)
+
+val gn1 : t
+(** Theorem 2 for EDF-NF (strict-inequality reading, see DESIGN.md). *)
+
+val gn1_printed : t
+(** Theorem 2 exactly as printed ([A(H) - A_k] constant). *)
+
+val gn2 : t
+(** Theorem 3 for EDF-FkF (typo-corrected, see DESIGN.md). *)
+
+val nec : t
+(** The necessary feasibility conditions ({!Feasibility}): ACCEPT means
+    "not provably infeasible" — an upper bound on true schedulability,
+    not a sufficient test. *)
+
+val defaults : t list
+(** [[dp; gn1; gn2]] — the paper's three sufficient tests. *)
+
+val all : t list
+(** Every registered analyzer, [defaults] first. *)
+
+val of_name : string -> (t, string) result
+(** Case-insensitive lookup by [name]; the error lists valid names. *)
+
+val of_names : string -> (t list, string) result
+(** Comma-separated list of names ("dp,gn2"); empty input is an error. *)
+
+val accepts : t -> fpga_area:int -> Model.Taskset.t -> bool

@@ -1,18 +1,18 @@
 type t = {
   fpga_area : int;
+  analyzers : Analyzer.t list;
   taskset : Model.Taskset.t;
   verdicts : Verdict.t list;
   time_utilization : Rat.t;
   system_utilization : Rat.t;
 }
 
-let default_tests = [ Dp.decide; Gn1.decide; Gn2.decide ]
-
-let run ?(tests = default_tests) ~fpga_area ts =
+let run ?(analyzers = Analyzer.defaults) ~fpga_area ts =
   {
     fpga_area;
+    analyzers;
     taskset = ts;
-    verdicts = List.map (fun test -> test ~fpga_area ts) tests;
+    verdicts = List.map (fun (a : Analyzer.t) -> a.Analyzer.decide ~fpga_area ts) analyzers;
     time_utilization = Model.Taskset.time_utilization ts;
     system_utilization = Model.Taskset.system_utilization ts;
   }
@@ -30,3 +30,32 @@ let pp fmt t =
     t.time_utilization Rat.pp t.system_utilization Rat.pp_approx t.system_utilization;
   List.iter (fun v -> Format.fprintf fmt "%a@," Verdict.pp v) t.verdicts;
   Format.fprintf fmt "@]"
+
+(* --- machine-readable form --- *)
+
+let task_json (task : Model.Task.t) =
+  Json.Obj
+    [
+      ("name", Json.String task.Model.Task.name);
+      ("C", Json.String (Model.Time.to_string task.Model.Task.exec));
+      ("D", Json.String (Model.Time.to_string task.Model.Task.deadline));
+      ("T", Json.String (Model.Time.to_string task.Model.Task.period));
+      ("A", Json.Int task.Model.Task.area);
+    ]
+
+let verdict_json (a : Analyzer.t) v =
+  match Verdict.to_json v with
+  | Json.Obj fields -> Json.Obj (("analyzer_version", Json.String a.Analyzer.version) :: fields)
+  | other -> other
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema_version", Json.Int Verdict.schema_version);
+      ("kind", Json.String "report");
+      ("fpga_area", Json.Int t.fpga_area);
+      ("tasks", Json.List (List.map task_json (Model.Taskset.to_list t.taskset)));
+      ("time_utilization", Json.String (Rat.to_string t.time_utilization));
+      ("system_utilization", Json.String (Rat.to_string t.system_utilization));
+      ("verdicts", Json.List (List.map2 verdict_json t.analyzers t.verdicts));
+    ]

@@ -15,6 +15,26 @@ let reject_all ~test_name ~note ts =
 let failing_tasks t =
   List.filter_map (fun c -> if c.satisfied then None else Some c.task_index) t.checks
 
+let schema_version = 1
+
+let check_to_json c =
+  Json.Obj
+    ([
+       ("task", Json.Int (c.task_index + 1));
+       ("satisfied", Json.Bool c.satisfied);
+       ("lhs", Json.String (Rat.to_string c.lhs));
+       ("rhs", Json.String (Rat.to_string c.rhs));
+     ]
+    @ if c.note = "" then [] else [ ("note", Json.String c.note) ])
+
+let to_json t =
+  Json.Obj
+    [
+      ("analyzer", Json.String t.test_name);
+      ("accepted", Json.Bool t.accepted);
+      ("checks", Json.List (List.map check_to_json t.checks));
+    ]
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>%s: %s@," t.test_name (if t.accepted then "ACCEPT" else "REJECT");
   List.iter

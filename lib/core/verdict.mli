@@ -30,3 +30,15 @@ val reject_all : test_name:string -> note:string -> Model.Taskset.t -> t
 
 val failing_tasks : t -> int list
 val pp : Format.formatter -> t -> unit
+
+val schema_version : int
+(** Version of the machine-readable verdict/report/diagnostic schema
+    shared by [redf analyze --format json], [redf lint --format json]
+    and the analysis server; bumped on any incompatible change. *)
+
+val to_json : t -> Json.t
+(** [{"analyzer":name,"accepted":bool,"checks":[{"task":k,"satisfied":…,
+    "lhs":…,"rhs":…,"note"?:…}]}] with exact rational sides as strings;
+    [task] is 1-based like {!pp}.  The analysis server returns exactly
+    this object (plus its envelope), so CLI and server output are
+    interchangeable. *)

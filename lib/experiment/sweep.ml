@@ -1,17 +1,17 @@
 type method_kind =
-  | Analytic of string * (fpga_area:int -> Model.Taskset.t -> bool)
+  | Analytic of Core.Analyzer.t
   | Simulation of string * Sim.Policy.t
 
 let standard_methods =
   [
-    Analytic ("DP", Core.Dp.accepts);
-    Analytic ("GN1", Core.Gn1.accepts);
-    Analytic ("GN2", Core.Gn2.accepts);
+    Analytic Core.Analyzer.dp;
+    Analytic Core.Analyzer.gn1;
+    Analytic Core.Analyzer.gn2;
     Simulation ("SIM-NF", Sim.Policy.edf_nf);
     Simulation ("SIM-FkF", Sim.Policy.edf_fkf);
     (* necessary conditions: an upper bound on true schedulability that,
        unlike the simulations, does not depend on a horizon *)
-    Analytic ("NEC", Core.Feasibility.feasible_maybe);
+    Analytic Core.Analyzer.nec;
   ]
 
 type conditioning = Scaled | Binned
@@ -42,7 +42,9 @@ let default_config ~profile =
 type point = { target_us : float; generated : int; accepted : int array }
 type t = { config : config; method_names : string list; points : point list }
 
-let method_name = function Analytic (n, _) | Simulation (n, _) -> n
+let method_name = function
+  | Analytic a -> a.Core.Analyzer.name
+  | Simulation (n, _) -> n
 
 (* work items are the unit of fan-out, so their counts are the sweep's
    deterministic cost measure: identical totals for any worker count *)
@@ -55,7 +57,7 @@ let m_draw_failures = Obs.Counter.make "experiment.sweep.draw_failures"
 let point_timer target_us = Obs.Timer.make (Printf.sprintf "experiment.sweep.point.us%g" target_us)
 
 let evaluate cfg ts = function
-  | Analytic (_, test) -> test ~fpga_area:cfg.profile.Model.Generator.fpga_area ts
+  | Analytic a -> Core.Analyzer.accepts a ~fpga_area:cfg.profile.Model.Generator.fpga_area ts
   | Simulation (_, policy) ->
     let sim_cfg =
       {

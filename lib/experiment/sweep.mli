@@ -8,7 +8,7 @@
     figure series, exported as CSV, or plotted in ASCII. *)
 
 type method_kind =
-  | Analytic of string * (fpga_area:int -> Model.Taskset.t -> bool)
+  | Analytic of Core.Analyzer.t  (** any registry analyzer ({!Core.Analyzer}) *)
   | Simulation of string * Sim.Policy.t
       (** synchronous release, migrating placement — the paper's setup *)
 

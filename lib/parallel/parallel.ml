@@ -19,17 +19,27 @@ let resolve_jobs jobs = if jobs <= 0 then available_domains () else jobs
 
 let jobs_env_var = "REDF_JOBS"
 
-(** Worker count requested by the [REDF_JOBS] environment variable:
-    a positive count, or [0] for one worker per core.  Unset or
-    malformed means serial. *)
-let default_jobs () =
+(** Worker count requested by the [REDF_JOBS] environment variable,
+    validated: unset means serial ([Ok 1]), [0] means one worker per
+    core, and anything that is not a non-negative integer is an
+    [Error] naming the offending value — a typo'd worker count should
+    fail loudly, not silently serialize the run. *)
+let jobs_of_env () =
   match Sys.getenv_opt jobs_env_var with
-  | None -> 1
+  | None -> Ok 1
   | Some v -> (
     match int_of_string_opt (String.trim v) with
-    | Some 0 -> available_domains ()
-    | Some n when n > 0 -> n
-    | Some _ | None -> 1)
+    | Some n when n >= 0 -> Ok n
+    | Some _ | None ->
+      Error
+        (Printf.sprintf "invalid %s=%S: expected a positive worker count or 0 (one per core)"
+           jobs_env_var v))
+
+(** The worker count [REDF_JOBS] asks for, already resolved; malformed
+    values fall back to serial (the CLI validates before getting here,
+    so the fallback only matters for library consumers). *)
+let default_jobs () =
+  match jobs_of_env () with Ok n -> resolve_jobs n | Error _ -> 1
 
 let parallel_map ?(jobs = 1) ?chunk ?progress f a =
   Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool -> Pool.map ?chunk ?progress pool f a)

@@ -1,0 +1,248 @@
+type t = {
+  cache : Cache.Verdicts.t;
+  pool : Parallel.Pool.t;
+  stop : bool Atomic.t;
+}
+
+(* request/error totals are functions of the input stream alone;
+   batching and connection counts depend on arrival timing *)
+let m_requests = Obs.Counter.make "server.requests"
+let m_errors = Obs.Counter.make "server.errors"
+let m_batches = Obs.Counter.make ~det:false "server.batches"
+let m_connections = Obs.Counter.make ~det:false "server.connections"
+let m_timeouts = Obs.Counter.make ~det:false "server.timeouts"
+let request_timer = Obs.Timer.make "server.request"
+
+let create ?(cache_size = 4096) ~jobs () =
+  {
+    cache = Cache.Verdicts.create ~capacity:cache_size ();
+    pool = Parallel.Pool.create ~jobs:(Parallel.resolve_jobs jobs);
+    stop = Atomic.make false;
+  }
+
+let shutdown t = Parallel.Pool.shutdown t.pool
+
+let with_engine ?cache_size ~jobs f =
+  let t = create ?cache_size ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let cache_stats t = Cache.Verdicts.stats t.cache
+let request_stop t = Atomic.set t.stop true
+let stop_requested t = Atomic.get t.stop
+
+let install_stop_signals t =
+  let handle = Sys.Signal_handle (fun _ -> request_stop t) in
+  Sys.set_signal Sys.sigint handle;
+  Sys.set_signal Sys.sigterm handle;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let handle_line t line =
+  Obs.Counter.incr m_requests;
+  match Protocol.parse line with
+  | Error (id, msg) ->
+    Obs.Counter.incr m_errors;
+    Protocol.error_response ?id msg
+  | Ok req -> (
+    match
+      Obs.Timer.time request_timer (fun () ->
+          Cache.Verdicts.decide t.cache ~analyzer:req.analyzer ~fpga_area:req.fpga_area
+            req.Protocol.taskset)
+    with
+    | verdict -> Protocol.response req verdict
+    | exception e ->
+      Obs.Counter.incr m_errors;
+      Protocol.error_response ?id:req.Protocol.id ("internal error: " ^ Printexc.to_string e))
+
+let handle_lines t lines =
+  Obs.Counter.incr m_batches;
+  Parallel.Pool.map t.pool (handle_line t) lines
+
+(* --- fd plumbing --- *)
+
+let max_request_bytes = 16 * 1024 * 1024
+
+let rec write_all fd s off =
+  if off < String.length s then begin
+    match Unix.write_substring fd s off (String.length s - off) with
+    | n -> write_all fd s (off + n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off
+  end
+
+(* split [s] into complete lines and the trailing partial *)
+let split_lines s =
+  match String.rindex_opt s '\n' with
+  | None -> ([], s)
+  | Some last ->
+    let complete = String.sub s 0 last in
+    let partial = String.sub s (last + 1) (String.length s - last - 1) in
+    (String.split_on_char '\n' complete, partial)
+
+let not_blank line = String.trim line <> ""
+
+let serve t ?timeout ~input ~output () =
+  let chunk = Bytes.create 65536 in
+  let partial = ref "" in
+  (* wall-clock instant by which the rest of the partial line must
+     arrive; armed only while a partial request is pending *)
+  let deadline = ref None in
+  let respond lines =
+    match Array.of_list (List.filter not_blank lines) with
+    | [||] -> ()
+    | batch ->
+      let responses = handle_lines t batch in
+      let payload = String.concat "" (Array.to_list (Array.map (fun r -> r ^ "\n") responses)) in
+      write_all output payload 0
+  in
+  let drop_partial msg =
+    Obs.Counter.incr m_timeouts;
+    partial := "";
+    deadline := None;
+    write_all output (Protocol.error_response msg ^ "\n") 0
+  in
+  let rec loop () =
+    if stop_requested t then ()
+    else begin
+      let tick =
+        match !deadline with
+        | None -> 0.5
+        | Some d -> Float.max 0.0 (Float.min 0.5 (d -. Unix.gettimeofday ()))
+      in
+      match Unix.select [ input ] [] [] tick with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | [], _, _ ->
+        (match !deadline with
+         | Some d when Unix.gettimeofday () >= d ->
+           drop_partial "request timeout: incomplete request line dropped"
+         | _ -> ());
+        loop ()
+      | _ -> (
+        match Unix.read input chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | 0 ->
+          (* EOF: everything left, including an unterminated final
+             line, is the tail of the request stream *)
+          let lines, last = split_lines !partial in
+          partial := "";
+          respond (lines @ [ last ])
+        | n ->
+          let lines, rest = split_lines (!partial ^ Bytes.sub_string chunk 0 n) in
+          partial := rest;
+          if String.length rest > max_request_bytes then
+            drop_partial "request too large: line exceeds 16 MiB"
+          else begin
+            deadline :=
+              (match (rest, timeout) with
+               | "", _ | _, None -> None
+               | _, Some s -> Some (Unix.gettimeofday () +. s));
+            respond lines
+          end;
+          loop ())
+    end
+  in
+  loop ();
+  (* graceful drain: answer the complete lines already received *)
+  let lines, _ = split_lines !partial in
+  respond lines
+
+(* --- Unix-domain socket --- *)
+
+let remove_stale_socket path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> failwith (path ^ ": exists and is not a socket; refusing to replace it")
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let serve_socket t ?timeout ~path () =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec sock;
+  remove_stale_socket path;
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec accept_loop () =
+        if not (stop_requested t) then begin
+          match Unix.select [ sock ] [] [] 0.5 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | [], _, _ -> accept_loop ()
+          | _ -> (
+            match Unix.accept sock with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+            | conn, _ ->
+              Obs.Counter.incr m_connections;
+              (* a client that vanishes mid-connection (EPIPE and
+                 friends) must not take the server down with it *)
+              (try serve t ?timeout ~input:conn ~output:conn ()
+               with Unix.Unix_error _ -> ());
+              (try Unix.close conn with Unix.Unix_error _ -> ());
+              accept_loop ())
+        end
+      in
+      accept_loop ())
+
+(* --- client (redf batch --connect) --- *)
+
+let client_roundtrip ~path lines =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect sock (Unix.ADDR_UNIX path) with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+  | () ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+      (fun () ->
+        let payload =
+          String.concat "" (Array.to_list (Array.map (fun l -> l ^ "\n") lines))
+        in
+        let sent = ref 0 in
+        let all_sent () = !sent >= String.length payload in
+        let received = Buffer.create 4096 in
+        let chunk = Bytes.create 65536 in
+        let rec pump eof =
+          if not eof || not (all_sent ()) then begin
+            let want_write = if all_sent () then [] else [ sock ] in
+            match Unix.select [ sock ] want_write [] (-1.0) with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump eof
+            | readable, writable, _ ->
+              let eof =
+                if readable <> [] then (
+                  match Unix.read sock chunk 0 (Bytes.length chunk) with
+                  | 0 -> true
+                  | n ->
+                    Buffer.add_subbytes received chunk 0 n;
+                    eof
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> eof)
+                else eof
+              in
+              if writable <> [] && not (all_sent ()) then begin
+                (match
+                   Unix.write_substring sock payload !sent (String.length payload - !sent)
+                 with
+                 | n -> sent := !sent + n
+                 | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                if all_sent () then Unix.shutdown sock Unix.SHUTDOWN_SEND
+              end;
+              pump eof
+          end
+        in
+        (match pump false with
+         | () -> ()
+         | exception Unix.Unix_error (Unix.EPIPE, _, _) -> ());
+        let rec read_rest () =
+          match Unix.read sock chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes received chunk 0 n;
+            read_rest ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_rest ()
+        in
+        (try read_rest () with Unix.Unix_error _ -> ());
+        let responses =
+          String.split_on_char '\n' (Buffer.contents received) |> List.filter not_blank
+        in
+        Ok (Array.of_list responses))

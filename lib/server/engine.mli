@@ -1,0 +1,72 @@
+(** The request-serving engine behind [redf serve] and [redf batch].
+
+    One engine owns the process-wide verdict cache ({!Cache.Verdicts})
+    and a {!Parallel.Pool} of worker domains; every front end — the
+    stdin/stdout loop, the Unix-domain-socket loop, an in-process batch
+    — funnels through {!handle_line}, so they all share the cache and
+    return identical bytes for identical requests.
+
+    Contracts:
+    - {e isolation}: {!handle_line} never raises — a malformed or
+      crashing request yields an error-response line, the process (and
+      the other requests of the batch) continue;
+    - {e determinism}: responses are written in request order and their
+      bytes are independent of the worker count and of cache state
+      (cached answers are remapped to the request's task order, see
+      {!Cache.Verdicts});
+    - {e graceful drain}: after {!request_stop} (or SIGINT/SIGTERM once
+      {!install_stop_signals} ran) the serve loops finish answering
+      every complete request line already received, then return, so a
+      supervisor's TERM never loses an in-flight answer. *)
+
+type t
+
+val create : ?cache_size:int -> jobs:int -> unit -> t
+(** [cache_size] (default 4096 entries; 0 disables caching) bounds the
+    verdict LRU; [jobs] follows the CLI convention (resolved via
+    {!Parallel.resolve_jobs}: 0 = one worker per core).
+    @raise Invalid_argument when [cache_size < 0]. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  The engine must not be used afterwards. *)
+
+val with_engine : ?cache_size:int -> jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)
+
+val cache_stats : t -> Cache.Lru.stats
+
+val request_stop : t -> unit
+val stop_requested : t -> bool
+
+val install_stop_signals : t -> unit
+(** Route SIGINT and SIGTERM to {!request_stop} and ignore SIGPIPE (a
+    vanished client must not kill the server). *)
+
+val handle_line : t -> string -> string
+(** One request line to one response line (no newline).  Never raises. *)
+
+val handle_lines : t -> string array -> string array
+(** Fan a batch out over the pool; responses in request order. *)
+
+val serve : t -> ?timeout:float -> input:Unix.file_descr -> output:Unix.file_descr -> unit -> unit
+(** Serve line-oriented requests until EOF or {!request_stop}.  Lines
+    are batched by arrival (whatever is buffered is evaluated as one
+    pool batch), blank lines are ignored, and a line longer than 16 MiB
+    is answered with an error and discarded.  [timeout] (seconds)
+    bounds the wait for the rest of a {e partially} received request
+    line; on expiry the partial input is dropped and an error response
+    is emitted.  An idle connection with no partial request never times
+    out. *)
+
+val serve_socket : t -> ?timeout:float -> path:string -> unit -> unit
+(** Listen on a Unix-domain socket, serving one connection at a time
+    with {!serve} until {!request_stop}.  A stale socket file at [path]
+    is replaced; any other kind of file is an error.  The socket file
+    is removed on return.
+    @raise Unix.Unix_error / Failure on bind/listen problems. *)
+
+val client_roundtrip : path:string -> string array -> (string array, string) result
+(** Connect to a {!serve_socket} server, pipeline all request lines,
+    and collect the response lines (request order) — the client side
+    used by [redf batch --connect].  Interleaves writing and reading,
+    so arbitrarily large batches cannot deadlock on pipe buffers. *)

@@ -1,0 +1,48 @@
+(** The analysis service wire format: line-oriented JSON.
+
+    One request per line, one response line per request, in request
+    order, so clients can pipeline arbitrarily deep.  The same schema
+    is served over stdin/stdout and over a Unix-domain socket, and the
+    verdict payload is exactly what [redf analyze --format json] emits
+    ({!Core.Report.verdict_json}) — CLI and server outputs are
+    interchangeable.
+
+    Request:
+    {v {"analyzer":"GN2","fpga_area":10,
+        "tasks":[{"name":"tau1","C":"1.26","D":"7","T":"7","A":9},…],
+        "id":…}                                                      v}
+    [analyzer] is a registry name ({!Core.Analyzer.of_name},
+    case-insensitive); [C]/[D]/[T] are decimal strings (or bare
+    integers) of time units; [name] is optional; [id] is an optional
+    integer or string echoed verbatim in the response.
+
+    Success response ([kind = "verdict"]):
+    {v {"schema_version":1,"kind":"verdict","fpga_area":10,
+        "analyzer":"GN2","analyzer_version":"1","accepted":true,
+        "checks":[…],"id":…}                                         v}
+
+    Error response ([kind = "error"], the request's [id] echoed when it
+    could be recovered):
+    {v {"schema_version":1,"kind":"error","error":"…","id":…}        v} *)
+
+type request = {
+  id : Core.Json.t option;  (** echoed verbatim; [Int] or [String] *)
+  analyzer : Core.Analyzer.t;
+  fpga_area : int;
+  taskset : Model.Taskset.t;
+}
+
+val parse : string -> (request, Core.Json.t option * string) result
+(** Parse one request line.  The error carries the request [id] when
+    the line was well-formed enough to recover it, so even a rejected
+    request can be correlated by a pipelining client. *)
+
+val response : request -> Core.Verdict.t -> string
+(** The success response line (no trailing newline). *)
+
+val error_response : ?id:Core.Json.t -> string -> string
+(** The error response line (no trailing newline). *)
+
+val request_line : analyzer:string -> fpga_area:int -> ?id:Core.Json.t -> Model.Taskset.t -> string
+(** Serialize a request (no trailing newline) — the inverse of
+    {!parse}; used by [redf batch]'s client mode and the tests. *)

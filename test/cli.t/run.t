@@ -159,7 +159,12 @@ Several tasksets can be audited in one invocation (in parallel with
 (on stderr by default, or into a file), without disturbing the normal
 output or exit status:
 
-  $ redf simulate table1.csv --area 10 --horizon 35 --metrics 2> metrics.jsonl | head -2
+(the simulate output lands in a file first: piping it straight into
+head can close the pipe early and kill the process by SIGPIPE before
+the snapshot is written)
+
+  $ redf simulate table1.csv --area 10 --horizon 35 --metrics 2> metrics.jsonl > sim-out.txt
+  $ head -2 sim-out.txt
   policy: EDF-NF, placement: migrating, horizon: 35 units
   no deadline miss observed
   $ grep '"kind":"counter"' metrics.jsonl | grep 'sim.engine' | head -3
@@ -184,3 +189,70 @@ for any worker count, while timers may differ (full diff):
   1
   $ redf metrics-diff sweep-j1.jsonl table1.csv 2> /dev/null; echo "exit $?"
   exit 3
+
+A negative -j or a garbage REDF_JOBS is a usage error (exit 2), not a
+silent fall-back to serial:
+
+  $ redf sweep fig3a --samples 1 --jobs=-2 2>&1; echo "exit $?"
+  error: invalid --jobs -2: expected a positive worker count or 0 (one per core)
+  exit 2
+  $ REDF_JOBS=three redf audit table1.csv --area 10 2>&1; echo "exit $?"
+  error: invalid REDF_JOBS="three": expected a positive worker count or 0 (one per core)
+  exit 2
+
+--format json renders the analyze report and the lint report as one
+canonical (key-sorted) JSON object; --analyzer picks registry entries:
+
+  $ redf analyze table1.csv --area 10 --format json | grep -o '"schema_version":1,"system_utilization":"69/25"'
+  "schema_version":1,"system_utilization":"69/25"
+  $ redf analyze table1.csv --area 10 --analyzer nec --format json | grep -o '"analyzer":"NEC"'
+  "analyzer":"NEC"
+  $ redf analyze table1.csv --area 10 --analyzer bogus; echo "exit $?"
+  error: unknown analyzer "bogus" (use DP, GN1, GN2, DP-original, GN1-printed, NEC)
+  exit 2
+  $ redf lint table1.csv --area 10 --format json
+  {"clean":true,"diagnostics":[],"fpga_area":10,"kind":"lint","schema_version":1}
+
+The analysis service reads one JSON request per line and answers in
+request order; a malformed line yields an error response and must not
+kill the server (exit stays 0, later requests are still answered):
+
+  $ cat > requests.jsonl <<'EOF2'
+  > {"id":1,"analyzer":"GN2","fpga_area":10,"tasks":[{"name":"tau1","C":"1.26","D":7,"T":7,"A":9},{"name":"tau2","C":"0.95","D":5,"T":5,"A":6}]}
+  > not json at all
+  > {"id":2,"analyzer":"DP","fpga_area":10,"tasks":[{"C":"0.95","D":5,"T":5,"A":6},{"C":"1.26","D":7,"T":7,"A":9}]}
+  > EOF2
+  $ redf serve < requests.jsonl > serve-out.jsonl; echo "exit $?"
+  exit 0
+  $ grep -c '' serve-out.jsonl
+  3
+  $ sed -n 2p serve-out.jsonl
+  {"error":"malformed JSON: at offset 0: bad literal","kind":"error","schema_version":1}
+  $ sed -n 3p serve-out.jsonl | grep -o '"accepted":true,"analyzer":"DP"'
+  "accepted":true,"analyzer":"DP"
+
+redf batch answers the same file in-process, byte-identically:
+
+  $ redf batch requests.jsonl > batch-out.jsonl; echo "exit $?"
+  exit 0
+  $ cmp serve-out.jsonl batch-out.jsonl && echo identical
+  identical
+
+The same service over a Unix-domain socket: batch --connect pipelines
+the file to the server, SIGTERM drains it cleanly, removes the socket
+file and (with --metrics) leaves a snapshot showing cache hits from
+the repeated batch:
+
+  $ redf serve --socket srv.sock --metrics=serve-metrics.jsonl &
+  $ for i in $(seq 100); do [ -S srv.sock ] && break; sleep 0.1; done
+  $ redf batch requests.jsonl --connect srv.sock > socket-out.jsonl
+  $ cmp serve-out.jsonl socket-out.jsonl && echo identical
+  identical
+  $ redf batch requests.jsonl --connect srv.sock | cmp serve-out.jsonl - && echo identical
+  identical
+  $ kill -TERM $!; wait $!; echo "server exit $?"
+  server exit 0
+  $ [ -S srv.sock ] || echo removed
+  removed
+  $ grep '"name":"cache.hits"' serve-metrics.jsonl
+  {"det":false,"kind":"counter","name":"cache.hits","value":2}

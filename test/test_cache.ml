@@ -1,0 +1,191 @@
+(* Tests for the verdict cache: canonical keying (task order and names
+   must not matter, analyzer identity and area must), LRU mechanics,
+   and the load-bearing property that a cached verdict is exactly the
+   verdict a fresh computation would produce — including the per-task
+   check indices, which the cache remaps through the sort
+   permutation. *)
+
+open Core_helpers
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_str_list = Alcotest.(check (list string))
+
+let verdict_str v = Core.Json.to_string (Core.Verdict.to_json v)
+
+let table1 =
+  taskset [ ("tau1", "1.26", "7", "7", 9); ("tau2", "0.95", "5", "5", 6) ]
+
+let table1_swapped =
+  taskset [ ("b", "0.95", "5", "5", 6); ("a", "1.26", "7", "7", 9) ]
+
+(* --- canonicalization --- *)
+
+let canonical_order_stable () =
+  (* equal-parameter tasks keep their original relative order *)
+  let ts = taskset [ ("x", "1", "5", "5", 2); ("y", "1", "5", "5", 2); ("z", "1", "4", "5", 2) ] in
+  Alcotest.(check (array int)) "stable ties" [| 2; 0; 1 |] (Cache.Canonical.order ts)
+
+let canonical_apply () =
+  let canon o ts = Model.Taskset.to_csv (Cache.Canonical.apply o ts) in
+  check_str "permutation-invariant canonical form"
+    (canon (Cache.Canonical.order table1) table1)
+    (canon (Cache.Canonical.order table1_swapped) table1_swapped)
+
+let key_ignores_order_and_names () =
+  let key ts = Cache.Canonical.key ~analyzer:Core.Analyzer.gn2 ~fpga_area:10 ts in
+  check_str "same key" (key table1) (key table1_swapped)
+
+let key_separates_requests () =
+  let key ?(analyzer = Core.Analyzer.gn2) ?(fpga_area = 10) ts =
+    Cache.Canonical.key ~analyzer ~fpga_area ts
+  in
+  let distinct what a b = check_bool what false (String.equal a b) in
+  distinct "area matters" (key table1) (key ~fpga_area:11 table1);
+  distinct "analyzer matters" (key table1) (key ~analyzer:Core.Analyzer.dp table1);
+  let bumped = { Core.Analyzer.gn2 with Core.Analyzer.version = "2" } in
+  distinct "version matters" (key table1) (key ~analyzer:bumped table1);
+  distinct "parameters matter" (key table1)
+    (key (taskset [ ("tau1", "1.26", "7", "7", 9); ("tau2", "0.95", "5", "6", 6) ]))
+
+(* --- LRU --- *)
+
+let lru_eviction_order () =
+  let lru = Cache.Lru.create ~metrics_prefix:"t.lru1" ~capacity:2 () in
+  Cache.Lru.put lru "a" 1;
+  Cache.Lru.put lru "b" 2;
+  Cache.Lru.put lru "c" 3;
+  (* capacity 2: inserting c evicts a, the least recently used *)
+  check_str_list "a evicted" [ "c"; "b" ] (Cache.Lru.keys_mru lru);
+  check_bool "a gone" true (Cache.Lru.find lru "a" = None);
+  check_int "evictions" 1 (Cache.Lru.stats lru).Cache.Lru.evictions
+
+let lru_find_promotes () =
+  let lru = Cache.Lru.create ~metrics_prefix:"t.lru2" ~capacity:2 () in
+  Cache.Lru.put lru "a" 1;
+  Cache.Lru.put lru "b" 2;
+  check_bool "hit" true (Cache.Lru.find lru "a" = Some 1);
+  Cache.Lru.put lru "c" 3;
+  (* the hit made a most-recent, so b is the eviction victim *)
+  check_str_list "b evicted" [ "c"; "a" ] (Cache.Lru.keys_mru lru);
+  let s = Cache.Lru.stats lru in
+  check_int "hits" 1 s.Cache.Lru.hits;
+  check_int "misses" 0 s.Cache.Lru.misses
+
+let lru_overwrite () =
+  let lru = Cache.Lru.create ~metrics_prefix:"t.lru3" ~capacity:2 () in
+  Cache.Lru.put lru "a" 1;
+  Cache.Lru.put lru "b" 2;
+  Cache.Lru.put lru "a" 10;
+  check_int "no growth" 2 (Cache.Lru.length lru);
+  check_bool "new value" true (Cache.Lru.find lru "a" = Some 10);
+  check_str_list "overwrite promotes" [ "a"; "b" ] (Cache.Lru.keys_mru lru)
+
+let lru_disabled () =
+  let lru = Cache.Lru.create ~metrics_prefix:"t.lru4" ~capacity:0 () in
+  Cache.Lru.put lru "a" 1;
+  check_int "stays empty" 0 (Cache.Lru.length lru);
+  check_bool "every find misses" true (Cache.Lru.find lru "a" = None);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Lru.create: negative capacity") (fun () ->
+      ignore (Cache.Lru.create ~metrics_prefix:"t.lru5" ~capacity:(-1) ()))
+
+(* --- cached verdicts vs fresh ones --- *)
+
+let cached_equals_fresh () =
+  let cache = Cache.Verdicts.create ~metrics_prefix:"t.v1" ~capacity:16 () in
+  List.iter
+    (fun analyzer ->
+      let fresh ts = analyzer.Core.Analyzer.decide ~fpga_area:10 ts in
+      let cached ts = Cache.Verdicts.decide cache ~analyzer ~fpga_area:10 ts in
+      (* first call populates, second is served from the cache; both
+         permutations must equal their own fresh computation *)
+      check_str "miss path" (verdict_str (fresh table1)) (verdict_str (cached table1));
+      check_str "hit path" (verdict_str (fresh table1)) (verdict_str (cached table1));
+      check_str "hit, permuted request"
+        (verdict_str (fresh table1_swapped))
+        (verdict_str (cached table1_swapped)))
+    Core.Analyzer.all;
+  let s = Cache.Verdicts.stats cache in
+  check_int "one miss per analyzer" (List.length Core.Analyzer.all) s.Cache.Lru.misses;
+  check_int "two hits per analyzer" (2 * List.length Core.Analyzer.all) s.Cache.Lru.hits
+
+(* random (C, D, T, A) rows with C <= min(D, T), as integers so any
+   permutation is still a valid taskset *)
+let rows_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 6)
+      (int_range 1 4 >>= fun c ->
+       int_range c 9 >>= fun d ->
+       int_range c 9 >>= fun t ->
+       int_range 1 8 >>= fun a -> return (c, d, t, a)))
+
+let taskset_of_rows name rows =
+  Model.Taskset.of_list
+    (List.mapi
+       (fun i (c, d, t, a) ->
+         Model.Task.make
+           ~name:(Printf.sprintf "%s%d" name i)
+           ~exec:(Model.Time.of_units c) ~deadline:(Model.Time.of_units d)
+           ~period:(Model.Time.of_units t) ~area:a ())
+       rows)
+
+let remap_property =
+  qtest ~count:300 "cached verdict equals fresh for permuted requests" rows_gen (fun rows ->
+      QCheck2.assume (rows <> []);
+      let ts = taskset_of_rows "p" rows in
+      let ts_rev = taskset_of_rows "q" (List.rev rows) in
+      let cache = Cache.Verdicts.create ~metrics_prefix:"t.v2" ~capacity:64 () in
+      List.for_all
+        (fun analyzer ->
+          let fresh t = verdict_str (analyzer.Core.Analyzer.decide ~fpga_area:10 t) in
+          let cached t = verdict_str (Cache.Verdicts.decide cache ~analyzer ~fpga_area:10 t) in
+          (* prime with one order, then query the reverse: the cached
+             verdict's checks must come back in the request's order *)
+          String.equal (fresh ts) (cached ts)
+          && String.equal (fresh ts_rev) (cached ts_rev))
+        Core.Analyzer.defaults)
+
+let parallel_workers_share_cache () =
+  (* the same shared cache queried from 4 worker domains must give the
+     bytes the serial run gives, for every request *)
+  let requests =
+    Array.init 64 (fun i ->
+        let rows = [ (1 + (i mod 3), 5, 5, 2 + (i mod 4)); (2, 6 + (i mod 2), 7, 3) ] in
+        taskset_of_rows (Printf.sprintf "r%d" i) rows)
+  in
+  let run jobs =
+    let cache = Cache.Verdicts.create ~metrics_prefix:"t.v3" ~capacity:32 () in
+    Parallel.parallel_map ~jobs
+      (fun ts ->
+        verdict_str (Cache.Verdicts.decide cache ~analyzer:Core.Analyzer.gn2 ~fpga_area:10 ts))
+      requests
+  in
+  let serial = run 1 and parallel = run 4 in
+  Array.iteri (fun i s -> check_str (Printf.sprintf "request %d" i) s parallel.(i)) serial
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "canonical",
+        [
+          Alcotest.test_case "stable order" `Quick canonical_order_stable;
+          Alcotest.test_case "apply" `Quick canonical_apply;
+          Alcotest.test_case "key ignores order and names" `Quick key_ignores_order_and_names;
+          Alcotest.test_case "key separates requests" `Quick key_separates_requests;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick lru_eviction_order;
+          Alcotest.test_case "find promotes" `Quick lru_find_promotes;
+          Alcotest.test_case "overwrite" `Quick lru_overwrite;
+          Alcotest.test_case "capacity 0 disables" `Quick lru_disabled;
+        ] );
+      ( "verdicts",
+        [
+          Alcotest.test_case "cached equals fresh" `Quick cached_equals_fresh;
+          remap_property;
+          Alcotest.test_case "parallel workers share cache" `Quick parallel_workers_share_cache;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* Tests for the analysis service: wire-format parsing, request
+   isolation (a bad line yields an error response, never an
+   exception), ordered and worker-count-independent batch evaluation,
+   and a full client/server roundtrip over a Unix-domain socket. *)
+
+open Core_helpers
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let table1 =
+  taskset [ ("tau1", "1.26", "7", "7", 9); ("tau2", "0.95", "5", "5", 6) ]
+
+let request ?id ?(analyzer = "GN2") ?(fpga_area = 10) ts =
+  Server.Protocol.request_line ~analyzer ~fpga_area ?id ts
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
+
+(* --- protocol --- *)
+
+let parse_roundtrip () =
+  match Server.Protocol.parse (request ~id:(Core.Json.Int 7) table1) with
+  | Error (_, msg) -> Alcotest.failf "parse failed: %s" msg
+  | Ok req ->
+    check_str "analyzer" "GN2" req.Server.Protocol.analyzer.Core.Analyzer.name;
+    check_int "area" 10 req.Server.Protocol.fpga_area;
+    check_bool "id" true (req.Server.Protocol.id = Some (Core.Json.Int 7));
+    check_str "taskset survives" (Model.Taskset.to_csv table1)
+      (Model.Taskset.to_csv req.Server.Protocol.taskset)
+
+let parse_errors () =
+  let fails ?id what line needle =
+    match Server.Protocol.parse line with
+    | Ok _ -> Alcotest.failf "%s: unexpectedly parsed" what
+    | Error (got_id, msg) ->
+      check_bool (what ^ ": id recovered") true (got_id = id);
+      check_bool
+        (Printf.sprintf "%s: %S mentions %S" what msg needle)
+        true (contains ~needle msg)
+  in
+  fails "garbage" "not json {" "malformed JSON";
+  fails "non-object" "[1,2]" "must be a JSON object";
+  fails "missing analyzer" {|{"fpga_area":10,"tasks":[{"C":1,"D":2,"T":2,"A":1}]}|} "\"analyzer\"";
+  fails "unknown analyzer" ~id:(Core.Json.Int 3)
+    {|{"id":3,"analyzer":"nope","fpga_area":10,"tasks":[{"C":1,"D":2,"T":2,"A":1}]}|}
+    "unknown analyzer";
+  fails "bad area" {|{"analyzer":"DP","fpga_area":0,"tasks":[{"C":1,"D":2,"T":2,"A":1}]}|}
+    "\"fpga_area\"";
+  fails "empty tasks" {|{"analyzer":"DP","fpga_area":10,"tasks":[]}|} "must not be empty";
+  fails "missing C" {|{"analyzer":"DP","fpga_area":10,"tasks":[{"D":2,"T":2,"A":1}]}|} "\"C\"";
+  fails "float time" {|{"analyzer":"DP","fpga_area":10,"tasks":[{"C":1.5,"D":2,"T":2,"A":1}]}|}
+    "malformed JSON"
+
+(* --- engine --- *)
+
+let with_engine f = Server.Engine.with_engine ~cache_size:64 ~jobs:1 f
+
+let response_kind line =
+  match Core.Json.of_string line with
+  | Ok json -> (
+    match Core.Json.member "kind" json with Some (Core.Json.String k) -> k | _ -> "?")
+  | Error _ -> "?"
+
+let isolation () =
+  with_engine (fun engine ->
+      let good = Server.Engine.handle_line engine (request table1) in
+      check_str "verdict" "verdict" (response_kind good);
+      List.iter
+        (fun bad ->
+          let resp = Server.Engine.handle_line engine bad in
+          check_str "error response" "error" (response_kind resp))
+        [ "garbage"; "{}"; {|{"analyzer":"DP"}|}; String.make 100 '[' ];
+      (* the engine still answers after the bad lines *)
+      check_str "still serving" good (Server.Engine.handle_line engine (request table1)))
+
+let batch_order_and_determinism () =
+  let lines =
+    Array.init 40 (fun i ->
+        if i mod 7 = 3 then Printf.sprintf "bad request %d" i
+        else
+          let analyzer = List.nth [ "DP"; "GN1"; "GN2" ] (i mod 3) in
+          request ~id:(Core.Json.Int i) ~analyzer table1)
+  in
+  let run jobs =
+    Server.Engine.with_engine ~cache_size:8 ~jobs (fun engine ->
+        Server.Engine.handle_lines engine lines)
+  in
+  let serial = run 1 and parallel = run 4 in
+  check_int "one response per request" (Array.length lines) (Array.length serial);
+  Array.iteri
+    (fun i line ->
+      check_str (Printf.sprintf "response %d independent of -j" i) line parallel.(i);
+      (* responses echo the request ids in order *)
+      if i mod 7 <> 3 then
+        check_bool
+          (Printf.sprintf "response %d in request order" i)
+          true
+          (contains ~needle:(Printf.sprintf "\"id\":%d" i) line))
+    serial
+
+let cached_batch_identical () =
+  (* the same batch twice: the second pass is all cache hits and must
+     be byte-identical *)
+  let lines = Array.init 20 (fun i -> request ~id:(Core.Json.Int i) table1) in
+  with_engine (fun engine ->
+      let first = Server.Engine.handle_lines engine lines in
+      let second = Server.Engine.handle_lines engine lines in
+      Array.iteri (fun i line -> check_str (Printf.sprintf "line %d" i) line second.(i)) first;
+      let s = Server.Engine.cache_stats engine in
+      check_int "one miss" 1 s.Cache.Lru.misses;
+      check_int "the rest hit" 39 s.Cache.Lru.hits)
+
+(* --- socket roundtrip --- *)
+
+let socket_roundtrip () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "redf-test-server.sock" in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let engine = Server.Engine.create ~cache_size:64 ~jobs:1 () in
+  let server = Domain.spawn (fun () -> Server.Engine.serve_socket engine ~path ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Engine.request_stop engine;
+      Domain.join server;
+      Server.Engine.shutdown engine)
+    (fun () ->
+      (* the server binds asynchronously; retry the connect briefly *)
+      let rec roundtrip attempts lines =
+        match Server.Engine.client_roundtrip ~path lines with
+        | Ok responses -> responses
+        | Error msg ->
+          if attempts = 0 then Alcotest.failf "client_roundtrip: %s" msg
+          else begin
+            Unix.sleepf 0.05;
+            roundtrip (attempts - 1) lines
+          end
+      in
+      let lines =
+        [| request ~id:(Core.Json.Int 1) table1; "malformed"; request ~id:(Core.Json.Int 2) table1 |]
+      in
+      let responses = roundtrip 100 lines in
+      check_int "three responses" 3 (Array.length responses);
+      check_str "first is a verdict" "verdict" (response_kind responses.(0));
+      check_str "second is an error" "error" (response_kind responses.(1));
+      check_str "third is a verdict" "verdict" (response_kind responses.(2));
+      (* in-process evaluation and the socket path agree byte for byte *)
+      check_str "socket equals in-process"
+        (Server.Engine.handle_line engine lines.(0))
+        responses.(0))
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "roundtrip" `Quick parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick parse_errors;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "isolation" `Quick isolation;
+          Alcotest.test_case "batch order and determinism" `Quick batch_order_and_determinism;
+          Alcotest.test_case "cached batch identical" `Quick cached_batch_identical;
+        ] );
+      ("socket", [ Alcotest.test_case "roundtrip" `Quick socket_roundtrip ]);
+    ]
