@@ -1,0 +1,24 @@
+let ts_of rows =
+  Model.Taskset.of_list
+    (List.mapi
+       (fun i (c, d, t, a) ->
+         Model.Task.make ~name:(Printf.sprintf "t%d" i)
+           ~exec:(Model.Time.of_units c) ~deadline:(Model.Time.of_units d)
+           ~period:(Model.Time.of_units t) ~area:a ())
+       rows)
+
+let () =
+  (* task with C > min(D,T) placed LAST in request order but sorting first canonically *)
+  let rows = [ (4, 9, 9, 3); (3, 2, 2, 2) ] in
+  let ts = ts_of rows in
+  let analyzer = Core.Analyzer.nec in
+  let fresh = analyzer.Core.Analyzer.decide ~fpga_area:10 ts in
+  let cache = Cache.Verdicts.create ~capacity:16 () in
+  (* prime the cache via a permuted request, then query original order *)
+  let ts_perm = ts_of (List.rev rows) in
+  ignore (Cache.Verdicts.decide cache ~analyzer ~fpga_area:10 ts_perm);
+  let cached = Cache.Verdicts.decide cache ~analyzer ~fpga_area:10 ts in
+  let s v = Core.Json.to_string (Core.Verdict.to_json v) in
+  Printf.printf "fresh : %s\n" (s fresh);
+  Printf.printf "cached: %s\n" (s cached);
+  Printf.printf "identical: %b\n" (String.equal (s fresh) (s cached))
