@@ -86,6 +86,55 @@ let print_results results =
       | _ -> Printf.printf "  %-28s (no estimate)\n" name)
     rows
 
+(* --- committed perf baseline: results/BENCH_core.json --- *)
+
+(* Analyzer cost per decide at N in {8, 64, 256}: the committed
+   baseline future PRs diff against (ROADMAP item 4).  Bechamel's OLS
+   wants many iterations, which GN2's O(N^3) exact arithmetic makes
+   prohibitive at N=256 (a single decide runs minutes), so the baseline
+   measures directly: repeated decides on the wall clock until ~0.5 s
+   or 64 runs, minimum one. *)
+let core_sizes = [ 8; 64; 256 ]
+
+let core_analyzers =
+  [
+    ("DP", fun ts -> ignore (Core.Dp.accepts ~fpga_area ts));
+    ("GN1", fun ts -> ignore (Core.Gn1.accepts ~fpga_area ts));
+    ("GN2", fun ts -> ignore (Core.Gn2.accepts ~fpga_area ts));
+  ]
+
+let us_per_decide f ts =
+  let budget_s = 0.5 and max_runs = 64 in
+  let t0 = Unix.gettimeofday () in
+  let rec go runs =
+    f ts;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if elapsed >= budget_s || runs + 1 >= max_runs then (elapsed, runs + 1) else go (runs + 1)
+  in
+  let elapsed, runs = go 0 in
+  elapsed *. 1e6 /. float_of_int runs
+
+let emit_core () =
+  let rows =
+    List.concat_map
+      (fun n ->
+        let ts = taskset_of_size n in
+        List.map
+          (fun (name, f) ->
+            let us = us_per_decide f ts in
+            Printf.printf "  %-4s n=%-4d %s/decide\n%!" name n (pretty_time (us *. 1e3));
+            Printf.sprintf "{\"analyzer\":%S,\"n\":%d,\"us_per_decide\":%.2f}" name n us)
+          core_analyzers)
+      core_sizes
+  in
+  let json =
+    Printf.sprintf
+      "{\"kind\":\"bench-core\",\"results\":[%s],\"schema_version\":1,\"unit\":\"us/decide\"}\n"
+      (String.concat "," rows)
+  in
+  Bench_env.write_file "BENCH_core.json" json;
+  Printf.printf "  -> %s\n" (Filename.concat Bench_env.results_dir "BENCH_core.json")
+
 let run () =
   Bench_env.section "Micro-benchmarks (Bechamel, monotonic clock, OLS)";
   if Bench_env.skip_micro then
@@ -96,5 +145,7 @@ let run () =
     Printf.printf "\nsimulator (10 tasks, horizon 100 units):\n";
     print_results (benchmark sim_tests);
     Printf.printf "\nsubstrates:\n";
-    print_results (benchmark substrate_tests)
+    print_results (benchmark substrate_tests);
+    Printf.printf "\nanalyzer baseline (BENCH_core.json, direct timing):\n";
+    emit_core ()
   end

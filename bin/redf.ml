@@ -8,6 +8,7 @@
      tables    reproduce the paper's Tables 1-3
      lint      static lint pass over a taskset CSV
      audit     lint + cross-analyzer soundness audit against simulation
+     check-src typedtree static analysis of the repo's own sources (.cmt files)
      serve     analysis service: line-oriented JSON over stdio or a socket
      batch     evaluate a file of service requests (in-process or --connect)
 
@@ -190,8 +191,9 @@ let lint_cmd =
   Cmd.v info term
 
 let audit_cmd =
-  let run paths fpga_area sexp strict cap_units seed inject_unsound no_shrink fixture_dir jobs
-      metrics =
+  let run paths fpga_area sexp format strict cap_units seed inject_unsound no_shrink fixture_dir
+      jobs metrics =
+    let json = format = `Json in
     with_jobs jobs @@ fun ~jobs ->
     with_metrics metrics @@ fun () ->
     let config =
@@ -231,9 +233,9 @@ let audit_cmd =
         (fun path result ->
           let label = if multi then "audit " ^ Filename.basename path else "audit" in
           match result with
-          | Error msg -> parse_failure ~label ~sexp msg
+          | Error msg -> parse_failure ~label ~sexp ~json msg
           | Ok report ->
-            print_report ~label ~sexp report;
+            print_report ~label ~sexp ~json report;
             (match fixture_dir with
              | None -> ()
              | Some dir ->
@@ -301,8 +303,8 @@ let audit_cmd =
   in
   let term =
     Term.(
-      const run $ tasksets_arg $ area_arg $ sexp_arg $ strict_arg $ cap_arg $ seed_opt_arg
-      $ inject_arg $ no_shrink_arg $ fixture_dir_arg $ jobs_arg $ metrics_arg)
+      const run $ tasksets_arg $ area_arg $ sexp_arg $ format_arg $ strict_arg $ cap_arg
+      $ seed_opt_arg $ inject_arg $ no_shrink_arg $ fixture_dir_arg $ jobs_arg $ metrics_arg)
   in
   let info =
     Cmd.info "audit"
@@ -693,6 +695,84 @@ let metrics_diff_cmd =
   in
   Cmd.v info term
 
+(* --- check-src --- *)
+
+let check_src_cmd =
+  let run paths strict format rule_names =
+    let rules =
+      match rule_names with
+      | None -> Ok Check.Rules.all
+      | Some names ->
+        String.split_on_char ',' names
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.fold_left
+             (fun acc name ->
+               match (acc, Check.Rules.of_name name) with
+               | Error _, _ -> acc
+               | Ok _, None ->
+                 Error
+                   (Printf.sprintf "unknown rule %S (known rules: %s)" name
+                      (String.concat ", " (List.map Check.Rules.name Check.Rules.all)))
+               | Ok rules, Some r -> Ok (rules @ [ r ]))
+             (Ok [])
+    in
+    match rules with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      3
+    | Ok rules -> (
+      match Check.Driver.run ~rules paths with
+      | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        3
+      | Ok report ->
+        (match format with
+         | `Json -> print_endline (Core.Json.to_string (Check.Driver.to_json report))
+         | `Human -> Format.printf "@[<v>%a@]@." Check.Driver.pp report);
+        Check.Driver.exit_code ~strict report)
+  in
+  let paths_arg =
+    Arg.(
+      value
+      & pos_all string [ "lib" ]
+      & info [] ~docv:"PATH"
+          ~doc:
+            "What to check: a .cmt file, a directory scanned recursively for .cmt files, or a \
+             source directory resolved through its _build/default mirror. Defaults to $(b,lib).")
+  in
+  let rule_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rule" ] ~docv:"NAME,..."
+          ~doc:
+            "Comma-separated rule families to run instead of all four: det-purity, \
+             domain-safety, exact-arith, poly-compare.")
+  in
+  let term = Term.(const run $ paths_arg $ strict_arg $ format_arg $ rule_arg) in
+  let info =
+    Cmd.info "check-src"
+      ~doc:"Statically check the repository's own sources against its invariants"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "A typedtree-based static analysis over the repo's compiled .cmt files enforcing the \
+             three contracts nothing else checks statically: byte-identical determinism for any \
+             -j (rule $(b,det-purity): no Hashtbl.iter/fold, wall-clock reads or environment \
+             reads in deterministic modules), domain-safety of shared state (rule \
+             $(b,domain-safety): module-level mutable state must be Atomic/Mutex-guarded), and \
+             exact integer/rational arithmetic in the decide paths (rules $(b,exact-arith) and \
+             $(b,poly-compare): no float literals/comparisons, no polymorphic compare on types \
+             with a custom ordering). A finding is silenced by [@redf.allow \"rule\" \
+             \"justification\"] on the enclosing expression, binding or module; the \
+             justification is mandatory. Exit status 0 when clean (with $(b,--strict): no \
+             warnings either), 1 on findings, 3 when an input is unusable.";
+        ]
+  in
+  Cmd.v info term
+
 (* --- serve / batch --- *)
 
 let cache_size_arg =
@@ -855,6 +935,7 @@ let main_cmd =
       exhaustive_cmd;
       lint_cmd;
       audit_cmd;
+      check_src_cmd;
       serve_cmd;
       batch_cmd;
       metrics_diff_cmd;

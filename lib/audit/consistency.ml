@@ -204,7 +204,7 @@ let unsound_check config analyzer scheduler release ts =
       let exhibits candidate =
         Taskset.fits candidate ~fpga_area:config.fpga_area
         && Core.Verdict.accepted (decide ~fpga_area:config.fpga_area candidate)
-        && misses config scheduler release candidate <> None
+        && Option.is_some (misses config scheduler release candidate)
       in
       let counterexample = if config.shrink then shrink_counterexample ~exhibits ts else ts in
       [

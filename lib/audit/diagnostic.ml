@@ -16,9 +16,12 @@ let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 let compare_severity a b = Int.compare (severity_rank a) (severity_rank b)
 
-let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
-let has_errors ds = List.exists (fun d -> d.severity = Error) ds
-let has_warnings ds = List.exists (fun d -> d.severity = Warning) ds
+(* monomorphic: severities order by rank, never by constructor layout *)
+let equal_severity a b = Int.equal (severity_rank a) (severity_rank b)
+
+let count sev ds = List.length (List.filter (fun d -> equal_severity d.severity sev) ds)
+let has_errors ds = List.exists (fun d -> equal_severity d.severity Error) ds
+let has_warnings ds = List.exists (fun d -> equal_severity d.severity Warning) ds
 
 let by_severity ds =
   List.stable_sort (fun a b -> compare_severity a.severity b.severity) ds

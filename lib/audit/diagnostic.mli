@@ -25,6 +25,9 @@ val severity_name : severity -> string
 val compare_severity : severity -> severity -> int
 (** [Error] orders before [Warning] orders before [Info]. *)
 
+val equal_severity : severity -> severity -> bool
+(** Monomorphic equality consistent with {!compare_severity}. *)
+
 val count : severity -> t list -> int
 val has_errors : t list -> bool
 val has_warnings : t list -> bool

@@ -1,0 +1,24 @@
+(** The typedtree pass over one compiled module.
+
+    Reads a [.cmt] file with [Cmt_format], walks its implementation
+    with a [Tast_iterator], and returns the findings for the enabled
+    rule families, already deduplicated and sorted by location.
+
+    Suppression: an expression, value binding or module carrying
+    [[\@redf.allow "rule" "justification"]] (or the floating
+    [[\@\@\@redf.allow ...]] form for the rest of the enclosing module)
+    silences that rule inside its scope.  The justification string is
+    mandatory and must be non-empty; a malformed or unjustified allow
+    is itself an error-level finding (rule [allow-syntax]), and an
+    allow that suppresses nothing is a warning (rule [unused-allow]).
+    Interface-only cmts yield no findings. *)
+
+type result = {
+  file : string;  (** workspace-relative source path from the cmt *)
+  modname : string;  (** compilation unit name, e.g. [Core__Dbf] *)
+  findings : Finding.t list;  (** sorted by {!Finding.compare} *)
+}
+
+val run_cmt : rules:Rules.rule list -> string -> (result, string) Result.t
+(** [run_cmt ~rules path] analyzes one cmt file.  [Error] means the
+    file could not be read or is not a cmt. *)

@@ -68,18 +68,17 @@ let check_points ?(horizon_cap = default_cap) ts =
     | Some h -> Time.min h horizon_cap
     | None -> horizon_cap
   in
-  let points = Hashtbl.create 256 in
+  let points = ref [] in
   List.iter
     (fun (task : Model.Task.t) ->
       let d = Time.ticks task.deadline and p = Time.ticks task.period in
       let t = ref d in
       while !t <= Time.ticks horizon do
-        Hashtbl.replace points !t ();
+        points := !t :: !points;
         t := !t + p
       done)
     (Model.Taskset.to_list ts);
-  Hashtbl.fold (fun t () acc -> Time.of_ticks t :: acc) points []
-  |> List.sort Time.compare
+  List.sort_uniq Int.compare !points |> List.map Time.of_ticks
 
 let uniprocessor_edf ?(horizon_cap = default_cap) ts =
   let ut = Model.Taskset.time_utilization ts in
@@ -100,7 +99,10 @@ let uniprocessor_edf ?(horizon_cap = default_cap) ts =
       | _ -> Horizon_truncated)
   end
 
-let schedulable ?horizon_cap ts = uniprocessor_edf ?horizon_cap ts = Schedulable
+let schedulable ?horizon_cap ts =
+  match uniprocessor_edf ?horizon_cap ts with
+  | Schedulable -> true
+  | Overloaded | Demand_exceeds _ | Horizon_truncated -> false
 
 let pp_result fmt = function
   | Schedulable -> Format.pp_print_string fmt "schedulable"

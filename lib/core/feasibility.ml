@@ -51,7 +51,8 @@ let check ~fpga_area ts =
     (exclusion_cliques ~fpga_area ts);
   List.rev !violations
 
-let feasible_maybe ~fpga_area ts = check ~fpga_area ts = []
+let feasible_maybe ~fpga_area ts =
+  match check ~fpga_area ts with [] -> true | _ :: _ -> false
 
 let pp_violation fmt = function
   | Exec_exceeds_window i -> Format.fprintf fmt "task %d needs C > min(D,T)" (i + 1)

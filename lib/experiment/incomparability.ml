@@ -24,10 +24,19 @@ let find_all ?max_draws ~rng ~profile ~tests () =
 let incidence ?(draws = 5000) ~rng ~profile ~tests () =
   let fpga_area = profile.Model.Generator.fpga_area in
   let table = Hashtbl.create 16 in
+  (* first-seen order of keys, so count ties never break in hash order *)
+  let order = ref [] in
   for _ = 1 to draws do
     let ts = Model.Generator.draw rng profile in
-    let key = List.sort compare (accepting_set ~fpga_area tests ts) in
-    Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+    let key = List.sort String.compare (accepting_set ~fpga_area tests ts) in
+    match Hashtbl.find_opt table key with
+    | None ->
+      order := key :: !order;
+      Hashtbl.replace table key 1
+    | Some n -> Hashtbl.replace table key (n + 1)
   done;
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  List.rev_map (fun k -> (k, Hashtbl.find table k)) !order
+  |> List.sort (fun (ka, a) (kb, b) ->
+         match Int.compare b a with
+         | 0 -> List.compare String.compare ka kb
+         | c -> c)

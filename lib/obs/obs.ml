@@ -21,7 +21,12 @@ type metric =
   | M_gauge of { det : bool; v : int Atomic.t }
   | M_timer of timer_state
 
-let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry : (string, metric) Hashtbl.t =
+  Hashtbl.create 64
+[@@redf.allow "domain-safety"
+                "every registry access below locks registry_mutex first; the table is never \
+                 touched outside the lock"]
+
 let registry_mutex = Mutex.create ()
 
 let kind_name = function
@@ -398,6 +403,16 @@ module Snapshot = struct
     | Counter { det; _ } | Gauge { det; _ } -> det
     | Timer _ -> false
 
+  let equal_entry a b =
+    match (a, b) with
+    | Counter { det = da; value = va }, Counter { det = db; value = vb }
+    | Gauge { det = da; value = va }, Gauge { det = db; value = vb } ->
+      Bool.equal da db && Int.equal va vb
+    | Timer ta, Timer tb ->
+      Int.equal ta.count tb.count && Int.equal ta.sum_ns tb.sum_ns
+      && Int.equal ta.min_ns tb.min_ns && Int.equal ta.max_ns tb.max_ns
+    | (Counter _ | Gauge _ | Timer _), _ -> false
+
   let render = function
     | Counter { value; _ } -> Printf.sprintf "counter %d" value
     | Gauge { value; _ } -> Printf.sprintf "gauge %d" value
@@ -416,7 +431,7 @@ module Snapshot = struct
         let c = String.compare na nb in
         if c < 0 then go (Printf.sprintf "- %s (%s)" na (render ea) :: acc) ra lb
         else if c > 0 then go (Printf.sprintf "+ %s (%s)" nb (render eb) :: acc) la rb
-        else if ea = eb then go acc ra rb
+        else if equal_entry ea eb then go acc ra rb
         else go (Printf.sprintf "~ %s: %s -> %s" na (render ea) (render eb) :: acc) ra rb
     in
     go [] a b

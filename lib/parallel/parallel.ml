@@ -25,7 +25,12 @@ let jobs_env_var = "REDF_JOBS"
     [Error] naming the offending value — a typo'd worker count should
     fail loudly, not silently serialize the run. *)
 let jobs_of_env () =
-  match Sys.getenv_opt jobs_env_var with
+  match
+    (Sys.getenv_opt jobs_env_var
+    [@redf.allow "det-purity"
+                   "reads the worker count only; results are byte-identical for any REDF_JOBS \
+                    value by the split-PRNG discipline"])
+  with
   | None -> Ok 1
   | Some v -> (
     match int_of_string_opt (String.trim v) with

@@ -189,7 +189,7 @@ let process_events st ~now =
       (match ev.kind with
        | Release task_index -> release_job st ~task_index ~at:ev.at
        | Deadline_check job ->
-         if (not (Job.is_finished job)) && !miss = None then
+         if (not (Job.is_finished job)) && Option.is_none !miss then
            miss := Some { job_id = job.Job.id; task_index = job.Job.task_index; at = ev.at })
     | _ -> continue := false
   done;
@@ -229,7 +229,10 @@ let update_placements st running =
       running;
     (* jobs that lost their spot are off the fabric *)
     Hashtbl.reset st.placements;
-    Hashtbl.iter (fun id r -> Hashtbl.replace st.placements id r) selected
+    (Hashtbl.iter (fun id r -> Hashtbl.replace st.placements id r) selected
+    [@redf.allow "det-purity"
+                   "replacing distinct keys into a freshly-reset table commutes, so the \
+                    iteration order cannot affect the resulting placements"])
 
 let count_preemptions st ~running_set =
   let active_set =
@@ -366,13 +369,14 @@ let run_inner cfg taskset =
     Obs.Counter.add m_completed st.jobs_completed;
     Obs.Counter.add m_preemptions st.preemptions;
     Obs.Counter.add m_placements st.placements_made;
-    if !outcome <> No_miss then Obs.Counter.incr m_misses
+    (match !outcome with Miss _ -> Obs.Counter.incr m_misses | No_miss -> ())
   end;
   { outcome = !outcome; stats; segments = List.rev st.segments }
 
 let run cfg taskset = Obs.Span.with_ ~name:"sim.engine.run" (fun () -> run_inner cfg taskset)
 
-let schedulable cfg taskset = (run cfg taskset).outcome = No_miss
+let schedulable cfg taskset =
+  match (run cfg taskset).outcome with No_miss -> true | Miss _ -> false
 
 let average_busy_area result =
   let ticks = result.stats.elapsed_ticks in

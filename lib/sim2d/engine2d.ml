@@ -102,7 +102,7 @@ let process_events st ~now =
       (match ev.kind with
        | Release task_index -> release_job st ~task_index ~at:ev.at
        | Deadline_check job ->
-         if Time.is_positive job.remaining && !miss = None then
+         if Time.is_positive job.remaining && Option.is_none !miss then
            miss := Some { job_id = job.id; task_index = job.task_index; at = ev.at })
     | _ -> continue := false
   done;
@@ -156,7 +156,10 @@ let update_rects st running =
   let selected = Hashtbl.create 16 in
   List.iter (fun p -> Hashtbl.replace selected p.job.id p.rect) running;
   Hashtbl.reset st.rects;
-  Hashtbl.iter (fun id r -> Hashtbl.replace st.rects id r) selected
+  (Hashtbl.iter (fun id r -> Hashtbl.replace st.rects id r) selected
+  [@redf.allow "det-purity"
+                 "replacing distinct keys into a freshly-reset table commutes, so the \
+                  iteration order cannot affect the resulting rectangles"])
 
 let count_preemptions st running =
   let running_ids = List.map (fun p -> p.job.id) running in
@@ -247,7 +250,8 @@ let run cfg tasks =
   in
   { outcome = !outcome; stats; segments = List.rev st.segments }
 
-let schedulable cfg tasks = (run cfg tasks).outcome = No_miss
+let schedulable cfg tasks =
+  match (run cfg tasks).outcome with No_miss -> true | Miss _ -> false
 
 let embed_1d ts ~height =
   List.map (Task2d.of_columns ~height) (Model.Taskset.to_list ts)

@@ -76,9 +76,14 @@ let check ~fpga_area result =
       List.iter (fun j -> ignore (observe j)) seg.waiting)
     result.Engine.segments;
   let trace_end = !prev_end in
-  (* per-job totals *)
-  Hashtbl.iter
-    (fun _ o ->
+  (* per-job totals, in job-id order so violation order never depends on
+     hash-bucket layout *)
+  let observations =
+    Hashtbl.to_seq_values jobs |> List.of_seq
+    |> List.sort (fun a b -> Int.compare a.job.Sim.Job.id b.job.Sim.Job.id)
+  in
+  List.iter
+    (fun o ->
       let exec = Time.ticks o.job.Sim.Job.task.Model.Task.exec in
       if o.service > exec then
         add
@@ -87,7 +92,7 @@ let check ~fpga_area result =
       (* when the trace covers the deadline and no miss was declared, the
          job must have been fully served by its deadline *)
       if
-        result.Engine.outcome = Engine.No_miss
+        (match result.Engine.outcome with Engine.No_miss -> true | Engine.Miss _ -> false)
         && Time.(o.job.Sim.Job.abs_deadline <= trace_end)
         && o.service_by_deadline <> exec
       then
@@ -95,7 +100,7 @@ let check ~fpga_area result =
           (violation o.job.Sim.Job.abs_deadline
              (Printf.sprintf "job %d served %d/%d ticks by its deadline yet no miss declared"
                 o.job.Sim.Job.id o.service_by_deadline exec)))
-    jobs;
+    observations;
   List.rev !violations
 
 let check_work_conserving ~violations_of result =

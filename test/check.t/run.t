@@ -1,0 +1,56 @@
+check-src works on any cmt, including one compiled outside dune.  A
+scratch module opts into the det and exact scopes via tags; findings
+carry compiler-style locations:
+
+  $ cat > scratch.ml <<'ML'
+  > [@@@redf.det]
+  > [@@@redf.exact]
+  > let now () = Sys.time ()
+  > let half = 0.5
+  > let jobs () =
+  >   (Sys.getenv_opt "REDF_JOBS"
+  >   [@redf.allow "det-purity" "demo: suppressed with a justification"])
+  > ML
+  $ ocamlc -bin-annot -c scratch.ml
+  $ redf check-src scratch.cmt; echo "exit $?"
+  scratch.ml:3:13: error[det-purity]: Stdlib.Sys.time in a deterministic module: reads the process clock
+  scratch.ml:4:11: error[exact-arith]: float literal 0.5 in an exact decide path: use Rat/Bignum
+  check-src: 2 errors, 0 warnings (1 modules)
+  exit 1
+
+Rule selection narrows the pass; an unknown rule is a usage error
+(exit 3, like an unreadable input):
+
+  $ redf check-src scratch.cmt --rule exact-arith; echo "exit $?"
+  scratch.ml:4:11: error[exact-arith]: float literal 0.5 in an exact decide path: use Rat/Bignum
+  check-src: 1 error, 0 warnings (1 modules)
+  exit 1
+  $ redf check-src scratch.cmt --rule bogus 2>&1; echo "exit $?"
+  error: unknown rule "bogus" (known rules: det-purity, domain-safety, exact-arith, poly-compare)
+  exit 3
+  $ redf check-src no_such_path 2>&1; echo "exit $?"
+  error: no_such_path: no such file or directory (nor under _build/default)
+  exit 3
+
+JSON output is canonical (sorted keys) and versioned:
+
+  $ redf check-src scratch.cmt --rule exact-arith --format json
+  {"clean":false,"errors":1,"findings":[{"col":11,"file":"scratch.ml","line":4,"message":"float literal 0.5 in an exact decide path: use Rat/Bignum","rule":"exact-arith","severity":"error"}],"kind":"check-src","modules":1,"schema_version":1,"warnings":0}
+  [1]
+
+A module whose only blemish is an allow that suppresses nothing is
+clean by default and fails under --strict:
+
+  $ cat > warned.ml <<'ML'
+  > [@@@redf.det]
+  > let answer = (42 [@redf.allow "det-purity" "demo: nothing to suppress"])
+  > ML
+  $ ocamlc -bin-annot -c warned.ml
+  $ redf check-src warned.cmt; echo "exit $?"
+  warned.ml:2:17: warning[unused-allow]: [@redf.allow "det-purity"] suppresses nothing here
+  check-src: 0 errors, 1 warning (1 modules)
+  exit 0
+  $ redf check-src warned.cmt --strict; echo "exit $?"
+  warned.ml:2:17: warning[unused-allow]: [@redf.allow "det-purity"] suppresses nothing here
+  check-src: 0 errors, 1 warning (1 modules)
+  exit 1

@@ -1,0 +1,11 @@
+(* suppression fixture: a justified allow silences its finding, an
+   allow without a justification is itself an error (and suppresses
+   nothing), and an allow with nothing to suppress warns. *)
+[@@@redf.det]
+
+let suppressed () =
+  (Hashtbl.iter (fun _ _ -> ()) (Hashtbl.create 3 : (int, int) Hashtbl.t)
+  [@redf.allow "det-purity" "fixture: iterating a fresh empty table"])
+
+let unjustified () = (Sys.getenv "PATH" [@redf.allow "det-purity"])
+let pointless = (42 [@redf.allow "det-purity" "fixture: nothing to suppress"])

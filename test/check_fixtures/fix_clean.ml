@@ -1,0 +1,8 @@
+(* clean fixture: tagged into every scope, violates nothing. *)
+[@@@redf.det]
+[@@@redf.exact]
+[@@@redf.domain_shared]
+
+let add a b = a + b
+let sorted = List.sort String.compare [ "b"; "a" ]
+let guarded = Atomic.make 0

@@ -1,0 +1,8 @@
+(* det-purity fixture: a tagged module using hash-order iteration and
+   the environment.  Both uses are flagged; nothing else is. *)
+[@@@redf.det]
+
+let table : (int, int) Hashtbl.t = Hashtbl.create 8
+let iterate () = Hashtbl.iter (fun _ _ -> ()) table
+let home () = Sys.getenv "HOME"
+let fine () = Hashtbl.length table

@@ -1,0 +1,14 @@
+(* domain-safety fixture: bare module-level mutable state is flagged;
+   Atomic state and a justified allow are not. *)
+[@@@redf.domain_shared]
+
+let counter = ref 0
+let ticks = Atomic.make 0
+
+let cache : (int, int) Hashtbl.t =
+  Hashtbl.create 4
+[@@redf.allow "domain-safety" "fixture: pretend a mutex guards this table"]
+
+let bump () =
+  incr counter;
+  Atomic.incr ticks

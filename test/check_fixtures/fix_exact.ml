@@ -1,0 +1,9 @@
+(* exact-arith fixture: float literals, float parsing, and float
+   comparison (named and polymorphic) in a tagged module. *)
+[@@@redf.exact]
+
+let half = 0.5
+let parse s = float_of_string s
+let same a b = Float.compare a b = 0
+let below (a : float) (b : float) = a < b
+let exact_ok = 1

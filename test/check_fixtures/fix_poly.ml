@@ -1,0 +1,6 @@
+(* poly-compare fixture: structural =/compare instantiated at repo
+   types carrying a custom ordering.  In scope everywhere, no tag. *)
+
+let same_verdict (a : Core.Verdict.t) (b : Core.Verdict.t) = a = b
+let order_results (a : Core.Dbf.result) (b : Core.Dbf.result) = compare a b
+let int_ok (a : int) (b : int) = a = b

@@ -1,0 +1,5 @@
+(* warning-only fixture: a single allow with nothing to suppress, so
+   the module is clean by default and dirty under --strict. *)
+[@@@redf.det]
+
+let answer = (42 [@redf.allow "det-purity" "fixture: suppresses nothing, warns"])

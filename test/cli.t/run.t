@@ -256,3 +256,13 @@ the repeated batch:
   removed
   $ grep '"name":"cache.hits"' serve-metrics.jsonl
   {"det":false,"kind":"counter","name":"cache.hits","value":2}
+
+Audit verdicts are also available as canonical JSON; the schema
+(sorted keys, schema_version) is pinned here:
+
+  $ redf audit table1.csv --area 10 --format json; echo "exit $?"
+  {"clean":true,"diagnostics":[],"fpga_area":10,"kind":"audit","schema_version":1}
+  exit 0
+  $ redf audit bad.csv --area 100 --format json; echo "exit $?"
+  {"clean":false,"diagnostics":[{"message":"system utilization 108.0000 exceeds the device area","rule":"device-overloaded","severity":"error"},{"message":"mutually-exclusive tasks {1,2} demand 1.8000 > 1 of a serial resource","rule":"exclusion-clique-overload","severity":"error"}],"fpga_area":100,"kind":"audit","schema_version":1}
+  exit 2
