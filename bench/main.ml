@@ -12,14 +12,34 @@
 
    Paper scale is REDF_SAMPLES=10000; see EXPERIMENTS.md. *)
 
+let sections =
+  [
+    ("tables", Tables.run);
+    ("figures", Figures.run);
+    ("ablations", Ablations.run);
+    ("parallel", Parallel.run);
+    ("micro", Micro.run);
+    ("obs", Obs_bench.run);
+  ]
+
+(* no arguments = every section; otherwise run just the named ones *)
 let () =
+  let requested =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> List.map fst sections
+    | names ->
+      List.iter
+        (fun n ->
+          if not (List.mem_assoc n sections) then begin
+            Printf.eprintf "unknown section %S (use %s)\n" n
+              (String.concat ", " (List.map fst sections));
+            exit 1
+          end)
+        names;
+      names
+  in
   print_endline "reconfig_edf benchmark harness";
   print_endline "reproducing: Guan et al., IPDPS 2007 (EDF on PRTR FPGAs)";
-  Tables.run ();
-  Figures.run ();
-  Ablations.run ();
-  Parallel.run ();
-  Micro.run ();
-  Obs_bench.run ();
+  List.iter (fun (name, run) -> if List.mem name requested then run ()) sections;
   print_newline ();
   print_endline "done; CSV series in ./results/, interpretation in EXPERIMENTS.md"

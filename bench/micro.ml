@@ -101,7 +101,27 @@ let core_analyzers =
     ("DP", fun ts -> ignore (Core.Dp.accepts ~fpga_area ts));
     ("GN1", fun ts -> ignore (Core.Gn1.accepts ~fpga_area ts));
     ("GN2", fun ts -> ignore (Core.Gn2.accepts ~fpga_area ts));
+    ( "approx[1/10]",
+      fun ts -> ignore (Exact.Approx.analyze ~eps:(Rat.of_ints 1 10) ~fpga_area ts) );
+    ( "approx[1/100]",
+      fun ts -> ignore (Exact.Approx.analyze ~eps:(Rat.of_ints 1 100) ~fpga_area ts) );
   ]
+
+(* the oracle is exponential in N (offset combinations), so its rows
+   use crafted small integer tasksets with an explicit combination cap
+   instead of the generated N sweep *)
+let exact_sizes = [ 2; 3 ]
+
+let exact_taskset n =
+  let task c d t a = Model.Task.of_decimal ~exec:c ~deadline:d ~period:t ~area:a () in
+  Model.Taskset.of_list
+    (List.filteri
+       (fun i _ -> i < n)
+       [ task "1" "6" "6" 40; task "2" "8" "8" 50; task "1" "4" "4" 30 ])
+
+let exact_decide ts =
+  ignore
+    (Exact.Oracle.decide ~max_combinations:20_000 ~fpga_area ~policy:Sim.Policy.edf_nf ts)
 
 let us_per_decide f ts =
   let budget_s = 0.5 and max_runs = 64 in
@@ -126,6 +146,16 @@ let emit_core () =
             Printf.sprintf "{\"analyzer\":%S,\"n\":%d,\"us_per_decide\":%.2f}" name n us)
           core_analyzers)
       core_sizes
+  in
+  let rows =
+    rows
+    @ List.map
+        (fun n ->
+          let ts = exact_taskset n in
+          let us = us_per_decide exact_decide ts in
+          Printf.printf "  %-4s n=%-4d %s/decide\n%!" "exact" n (pretty_time (us *. 1e3));
+          Printf.sprintf "{\"analyzer\":%S,\"n\":%d,\"us_per_decide\":%.2f}" "exact" n us)
+        exact_sizes
   in
   let json =
     Printf.sprintf

@@ -17,6 +17,10 @@
 
 open Cmdliner
 
+(* make the exact oracle and approx analyzers resolvable by name
+   everywhere (analyze, serve, batch, the cache) *)
+let () = Exact.Registry.ensure ()
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -351,6 +355,7 @@ let analyze_cmd =
         2
       | Ok analyzers ->
         let report = Core.Report.run ~analyzers ~fpga_area ts in
+        let any_accepted = List.exists Core.Verdict.accepted report.Core.Report.verdicts in
         (match format with
          | `Json -> print_endline (Core.Json.to_string (Core.Report.to_json report))
          | `Human ->
@@ -368,20 +373,19 @@ let analyze_cmd =
              (if Core.Partitioned.accepts ~test:Core.Partitioned.Demand_bound ~fpga_area ts then
                 "ACCEPT"
               else "REJECT"));
-        if Core.Composite.edf_nf_any ~fpga_area ts then 0 else 2)
+        if any_accepted then 0 else 2)
   in
   let all_arg =
     Arg.(value & flag & info [ "all" ] ~doc:"Also run the uncorrected/printed test variants.")
   in
   let analyzer_names_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "analyzer" ] ~docv:"NAMES"
-          ~doc:
-            "Comma-separated registry names to run instead of the defaults (see the Analyzer \
-             registry: DP, DP-original, GN1, GN1-printed, GN2, NEC; case-insensitive). \
-             Overrides $(b,--all).")
+    let doc =
+      Printf.sprintf
+        "Comma-separated registry names to run instead of the defaults (registered analyzers: \
+         %s; case-insensitive). Overrides $(b,--all)."
+        (String.concat ", " (Core.Analyzer.known_names ()))
+    in
+    Arg.(value & opt (some string) None & info [ "analyzer" ] ~docv:"NAMES" ~doc)
   in
   let term =
     Term.(
@@ -396,10 +400,12 @@ let analyze_cmd =
           `P
             "Runs DP (Theorem 1), GN1 (Theorem 2), GN2 (Theorem 3) and the partitioned \
              first-fit-decreasing baseline on the taskset, printing per-task exact \
-             left/right-hand sides. With $(b,--format json) the report is one canonical JSON \
-             object whose per-analyzer verdicts are byte-identical to the analysis service's \
-             responses ($(b,redf serve)). Exit status 0 when at least one EDF-NF test accepts, \
-             2 when all reject.";
+             left/right-hand sides. $(b,--analyzer) selects any registered analyzers instead, \
+             including the exact oracle ($(b,exact), $(b,exact-fkf)) and the approximate \
+             demand test ($(b,approx[EPS])). With $(b,--format json) the report is one \
+             canonical JSON object whose per-analyzer verdicts are byte-identical to the \
+             analysis service's responses ($(b,redf serve)). Exit status 0 when at least one \
+             selected analyzer accepts, 2 when all reject.";
         ]
   in
   Cmd.v info term

@@ -93,27 +93,16 @@ let release_name = function
   | Synchronous -> "synchronous"
   | Sporadic seed -> Printf.sprintf "sporadic (seed %d)" seed
 
-let horizon_of config ts =
-  match Taskset.hyperperiod ~cap:config.horizon_cap ts with
-  | Taskset.Finite h -> (h, false)
-  | Taskset.Exceeds_cap -> (config.horizon_cap, true)
+let pattern_of = function
+  | Synchronous -> Exact.Oracle.Synchronous
+  | Sporadic seed -> Exact.Oracle.Sporadic { seed; max_delay = Time.of_units 3 }
 
+(* every reference schedule the audit consults comes from the exact
+   oracle — no ad-hoc Engine configuration here *)
 let simulate config ~record scheduler release ts =
   Obs.Counter.incr m_simulations;
-  let horizon, truncated = horizon_of config ts in
-  let cfg = Engine.default_config ~fpga_area:config.fpga_area ~policy:(policy_of scheduler) in
-  let cfg =
-    {
-      cfg with
-      Engine.horizon;
-      record_trace = record;
-      release =
-        (match release with
-         | Synchronous -> Engine.Synchronous
-         | Sporadic seed -> Engine.Sporadic { seed; max_delay = Time.of_units 3 });
-    }
-  in
-  (Engine.run cfg ts, truncated)
+  Exact.Oracle.simulate ~horizon_cap:config.horizon_cap ~record ~fpga_area:config.fpga_area
+    ~policy:(policy_of scheduler) (pattern_of release) ts
 
 let misses config scheduler release ts =
   match (simulate config ~record:false scheduler release ts : Engine.result * bool) with
@@ -213,10 +202,84 @@ let unsound_check config analyzer scheduler release ts =
              (m.Engine.task_index + 1) Time.pp m.Engine.at (release_name release));
       ]
 
+(* the exact oracle's verdict on the set, cross-checked two ways: a
+   conclusive ACCEPT against every audited analyzer's REJECT (the
+   sufficiency gap, informational) and against an approx refutation
+   (which claims infeasibility, so a contradiction is a hard error) *)
+let oracle_check config analyzers ts =
+  let conclusion =
+    Exact.Oracle.decide ~horizon_cap:config.horizon_cap ~fpga_area:config.fpga_area
+      ~policy:Sim.Policy.edf_nf ts
+  in
+  let gap =
+    match conclusion with
+    | Exact.Oracle.Schedulable (Exact.Oracle.All_offsets { combinations; grid }) -> (
+      let rejecting =
+        List.filter_map
+          (fun a ->
+            if Core.Verdict.accepted (analyzer_decide a ~fpga_area:config.fpga_area ts) then None
+            else Some (analyzer_name a))
+          analyzers
+      in
+      match rejecting with
+      | [] -> []
+      | names ->
+        [
+          finding ~severity:Diagnostic.Info ~rule:"sufficiency-gap"
+            (Format.asprintf
+               "exact oracle certifies schedulability (no miss over %d offset assignments on the \
+                %a grid) but %s reject: a sufficiency gap, not unsoundness"
+               combinations Time.pp grid (String.concat ", " names));
+        ])
+    | _ -> []
+  in
+  let approx_check =
+    match Exact.Approx.analyze ~fpga_area:config.fpga_area ts with
+    | Exact.Approx.Accepted _ -> []
+    | refutation ->
+      (* an approx REJECT claims infeasibility under any scheduler, so
+         it contradicts any conclusive oracle ACCEPT: a full offset
+         certificate always, a synchronous-only certificate when the
+         refutation point lies inside the untruncated horizon *)
+      let conclusive =
+        match conclusion with
+        | Exact.Oracle.Schedulable (Exact.Oracle.All_offsets _) -> true
+        | Exact.Oracle.Schedulable (Exact.Oracle.Synchronous_only _) -> (
+          match refutation with
+          | Exact.Approx.Refuted_at { at; _ } ->
+            let horizon, truncated =
+              Exact.Interval.sync_horizon ~cap:config.horizon_cap ts
+            in
+            (not truncated) && Time.(at <= horizon)
+          | _ -> false)
+        | Exact.Oracle.Unschedulable _ | Exact.Oracle.Inconclusive _ -> false
+      in
+      if not conclusive then []
+      else
+        let what =
+          match refutation with
+          | Exact.Approx.Refuted_at { at; demand; supply } ->
+            Format.asprintf "approx refutes feasibility (h(%a) = %d > %d column-ticks)" Time.pp at
+              demand supply
+          | Exact.Approx.Refuted_overload { us } ->
+            Format.asprintf "approx refutes feasibility (US = %s exceeds the device area)"
+              (Rat.to_string us)
+          | Exact.Approx.Accepted _ -> assert false
+        in
+        [
+          finding ~analyzer:"approx" ~rule:"approx-unsound"
+            (what ^ " but the exact oracle certifies schedulability");
+        ]
+  in
+  gap @ approx_check
+
 (* one independent, side-effect-free unit of audit work; a unit's
    findings depend only on (config, ts, unit), so units can run on any
    worker in any order and be reassembled in unit order *)
-type work = Unsound_check of analyzer * scheduler * release | Lemma_check of scheduler
+type work =
+  | Unsound_check of analyzer * scheduler * release
+  | Lemma_check of scheduler
+  | Oracle_check
 
 let audit ?(analyzers = paper_analyzers) ?(jobs = 1) config ts =
   if not (Taskset.fits ts ~fpga_area:config.fpga_area) then
@@ -226,7 +289,7 @@ let audit ?(analyzers = paper_analyzers) ?(jobs = 1) config ts =
          simulated";
     ]
   else begin
-    let _, truncated = horizon_of config ts in
+    let _, truncated = Exact.Interval.sync_horizon ~cap:config.horizon_cap ts in
     let truncation =
       if truncated then
         [
@@ -249,7 +312,7 @@ let audit ?(analyzers = paper_analyzers) ?(jobs = 1) config ts =
               List.map (fun release -> Unsound_check (analyzer, scheduler, release)) releases)
             analyzer.sound_for)
         analyzers
-      @ [ Lemma_check Edf_nf; Lemma_check Edf_fkf ]
+      @ [ Lemma_check Edf_nf; Lemma_check Edf_fkf; Oracle_check ]
     in
     let eval work =
       Obs.Counter.incr m_units;
@@ -257,7 +320,8 @@ let audit ?(analyzers = paper_analyzers) ?(jobs = 1) config ts =
           match work with
           | Unsound_check (analyzer, scheduler, release) ->
             unsound_check config analyzer scheduler release ts
-          | Lemma_check scheduler -> trace_findings config scheduler ts)
+          | Lemma_check scheduler -> trace_findings config scheduler ts
+          | Oracle_check -> oracle_check config analyzers ts)
     in
     let findings =
       (if jobs <= 1 then List.concat_map eval works

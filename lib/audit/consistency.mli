@@ -16,9 +16,20 @@
       {!Trace.Checker.check_work_conserving};
     - {b trace-invariant-violation}: the recorded trace breaks a
       physical invariant ({!Trace.Checker.check});
+    - {b approx-unsound}: the approximate demand test
+      ({!Exact.Approx}) refutes feasibility while the exact oracle
+      conclusively certifies schedulability — a hard error, since an
+      approx REJECT claims infeasibility under any scheduler;
+    - {b sufficiency-gap} (info): the exact oracle conclusively accepts
+      (full offset certificate) while one or more audited sufficient
+      tests reject — the expected pessimism of a sufficient test,
+      reported so the gap is measurable (EXPERIMENTS.md);
     - {b simulation-skipped} / {b simulation-truncated} (info): the set
       cannot be simulated (a task is wider than the device) or the
-      hyper-period exceeds the cap so the certificate is partial. *)
+      hyper-period exceeds the cap so the certificate is partial.
+
+    Every reference schedule comes from {!Exact.Oracle} — the audit
+    performs no ad-hoc simulation of its own. *)
 
 type scheduler = Edf_nf | Edf_fkf
 

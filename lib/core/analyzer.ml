@@ -69,16 +69,52 @@ let nec =
   }
 
 let defaults = [ dp; gn1; gn2 ]
-let all = defaults @ [ dp_original; gn1_printed; nec ]
+let builtins = defaults @ [ dp_original; gn1_printed; nec ]
+
+(* --- the dynamic registry --- *)
+
+(* analyzers contributed by higher layers (lib/exact cannot be a core
+   dependency), appended after the builtins; parsers resolve
+   parameterized names such as "approx[0.01]" that cannot be enumerated.
+   Both lists live in Atomics so registration from any domain is safe;
+   registration is idempotent (same name / syntax: kept, not replaced),
+   so an `ensure ()`-style hook can run any number of times. *)
+
+type parser_entry = { syntax : string; parse : string -> (t, string) result option }
+
+let registered : t list Atomic.t = Atomic.make []
+let parsers : parser_entry list Atomic.t = Atomic.make []
+
+let rec atomic_update r f =
+  let old = Atomic.get r in
+  if not (Atomic.compare_and_set r old (f old)) then atomic_update r f
+
+let canonical_name n = String.lowercase_ascii (String.trim n)
+
+let all () = builtins @ Atomic.get registered
+
+let register a =
+  atomic_update registered (fun l ->
+      if List.exists (fun b -> canonical_name b.name = canonical_name a.name) (builtins @ l) then l
+      else l @ [ a ])
+
+let register_parser ~syntax parse =
+  atomic_update parsers (fun l ->
+      if List.exists (fun p -> p.syntax = syntax) l then l else l @ [ { syntax; parse } ])
+
+let known_names () =
+  List.map (fun a -> a.name) (all ()) @ List.map (fun p -> p.syntax) (Atomic.get parsers)
 
 let of_name name =
-  let target = String.lowercase_ascii (String.trim name) in
-  match List.find_opt (fun a -> String.lowercase_ascii a.name = target) all with
+  let target = canonical_name name in
+  match List.find_opt (fun a -> canonical_name a.name = target) (all ()) with
   | Some a -> Ok a
-  | None ->
-    Error
-      (Printf.sprintf "unknown analyzer %S (use %s)" name
-         (String.concat ", " (List.map (fun a -> a.name) all)))
+  | None -> (
+    match List.find_map (fun p -> p.parse target) (Atomic.get parsers) with
+    | Some result -> result
+    | None ->
+      Error
+        (Printf.sprintf "unknown analyzer %S (use %s)" name (String.concat ", " (known_names ()))))
 
 let of_names names =
   let parts =

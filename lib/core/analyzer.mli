@@ -42,11 +42,36 @@ val nec : t
 val defaults : t list
 (** [[dp; gn1; gn2]] — the paper's three sufficient tests. *)
 
-val all : t list
-(** Every registered analyzer, [defaults] first. *)
+val all : unit -> t list
+(** Every known analyzer: the builtins above ([defaults] first), then
+    whatever higher layers have {!register}ed so far (e.g. the exact
+    oracle and the approximate demand test from [lib/exact], which core
+    cannot depend on). *)
+
+val register : t -> unit
+(** Append an analyzer to the registry.  Idempotent per (case-folded)
+    [name]: a name that is already known — builtin or registered — is
+    kept, not replaced, so registration hooks can run repeatedly.
+    Domain-safe. *)
+
+val register_parser :
+  syntax:string -> (string -> (t, string) result option) -> unit
+(** Register a resolver for parameterized analyzer names that cannot be
+    enumerated (e.g. ["approx[EPS]"]).  The parser receives the
+    trimmed, lower-cased name and returns [None] when the name is not
+    its shape, [Some (Ok a)] on success, and [Some (Error msg)] for a
+    malformed parameter (e.g. a non-positive ε).  [syntax] is the
+    human-readable form listed by {!known_names}; registration is
+    idempotent per [syntax]. *)
+
+val known_names : unit -> string list
+(** Every name {!of_name} accepts: registry entries, then parser
+    syntaxes — the single source for [--analyzer] help and errors. *)
 
 val of_name : string -> (t, string) result
-(** Case-insensitive lookup by [name]; the error lists valid names. *)
+(** Case-insensitive lookup by [name], falling through to the
+    registered parsers for parameterized names; the error lists
+    {!known_names}. *)
 
 val of_names : string -> (t list, string) result
 (** Comma-separated list of names ("dp,gn2"); empty input is an error. *)

@@ -1,0 +1,29 @@
+[@@@redf.det]
+[@@@redf.exact]
+
+module Time = Model.Time
+module Taskset = Model.Taskset
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let parameter_grid ts =
+  let g =
+    List.fold_left
+      (fun acc (task : Model.Task.t) ->
+        gcd
+          (gcd acc (Time.ticks task.Model.Task.exec))
+          (gcd (Time.ticks task.Model.Task.deadline) (Time.ticks task.Model.Task.period)))
+      0 (Taskset.to_list ts)
+  in
+  Time.of_ticks (max 1 g)
+
+let sync_horizon ?(cap = Time.of_units 10_000) ts =
+  match Taskset.hyperperiod ~cap ts with
+  | Taskset.Exceeds_cap -> (cap, true)
+  | Taskset.Finite h ->
+    if Taskset.all_constrained_deadline ts then (h, false)
+    else
+      (* a job released before H can legitimately run past H when
+         D > T; one extra hyper-period reaches the steady state *)
+      let two_h = Time.mul_int h 2 in
+      if Time.(two_h <= cap) then (two_h, false) else (cap, true)

@@ -1,0 +1,34 @@
+(** Simulation-interval bounds for exact analysis.
+
+    The oracle's exactness rests on two periodicity arguments (see
+    DESIGN.md, "The exact oracle"):
+
+    - {b synchronous release}: a deterministic, memoryless scheduler
+      repeats its schedule with period [H] (the hyper-period) once the
+      backlog state recurs.  For constrained-deadline sets every job
+      released in [\[0, H)] has its absolute deadline at or before [H],
+      so a miss-free prefix [\[0, H\]] re-enters the initial state at
+      [H] and the prefix is a complete certificate.  Unconstrained
+      deadlines can carry jobs across the boundary; [\[0, 2H\]] covers
+      the transient plus one full steady-state period (Goossens &
+      Meumeu Yomsi's interval with [O_max = 0]).
+    - {b offset grid}: first-release offsets are enumerated on the gcd
+      of all task parameters; {!Sim.Exhaustive} then simulates each
+      assignment over [\[0, O_max + 2H\]].  Note this quantifies over
+      offsets {e on the grid} only — this model has no critical
+      instant, and a sub-grid offset can behave differently (the
+      [witness.csv] taskset misses only at offset 0.5 on a 1-unit
+      parameter grid), so the grid search is a refutation engine plus a
+      grid-restricted certificate, never a continuous-offset proof. *)
+
+val parameter_grid : Model.Taskset.t -> Model.Time.t
+(** The gcd (in ticks, at least one tick) of every task's execution
+    time, deadline and period: the coarsest grid all parameters live
+    on, and the oracle's default offset-enumeration step. *)
+
+val sync_horizon : ?cap:Model.Time.t -> Model.Taskset.t -> Model.Time.t * bool
+(** The synchronous-release certificate horizon and whether it was
+    truncated: [H] for constrained-deadline sets, [2H] otherwise, both
+    clamped to [cap] (default 10^4 time units, the audit's cap).  When
+    the flag is [true] a miss-free simulation certifies only the
+    prefix, not the steady state. *)

@@ -1,0 +1,100 @@
+[@@@redf.det]
+[@@@redf.exact]
+
+module Time = Model.Time
+module Taskset = Model.Taskset
+module Engine = Sim.Engine
+
+type pattern = Synchronous | Sporadic of { seed : int; max_delay : Time.t }
+
+(* decide counts are per-taskset and independent of the worker count;
+   the span is the oracle's cost profile *)
+let m_decides = Obs.Counter.make "exact.oracle.decides"
+let m_simulations = Obs.Counter.make "exact.oracle.simulations"
+
+let default_horizon_cap = Time.of_units 10_000
+
+let simulate ?(horizon_cap = default_horizon_cap) ?(record = false) ~fpga_area ~policy pattern ts =
+  Obs.Counter.incr m_simulations;
+  let horizon, truncated = Interval.sync_horizon ~cap:horizon_cap ts in
+  let cfg = Engine.default_config ~fpga_area ~policy in
+  let cfg =
+    {
+      cfg with
+      Engine.horizon;
+      record_trace = record;
+      release =
+        (match pattern with
+         | Synchronous -> Engine.Synchronous
+         | Sporadic { seed; max_delay } -> Engine.Sporadic { seed; max_delay });
+    }
+  in
+  (Engine.run cfg ts, truncated)
+
+let witness ?horizon_cap ~fpga_area ~policy pattern ts =
+  match simulate ?horizon_cap ~fpga_area ~policy pattern ts with
+  | { Engine.outcome = Engine.Miss m; _ }, _ -> Some m
+  | { Engine.outcome = Engine.No_miss; _ }, _ -> None
+
+type certificate =
+  | All_offsets of { combinations : int; grid : Time.t }
+  | Synchronous_only of { reason : string }
+
+type refutation =
+  | Wider_than_device of { amax : int }
+  | Infeasible of Core.Feasibility.violation list
+  | Sync_miss of Engine.miss
+  | Offset_miss of { offsets : Time.t list; miss : Engine.miss }
+
+type conclusion =
+  | Schedulable of certificate
+  | Unschedulable of refutation
+  | Inconclusive of { reason : string }
+
+let decide_inner ?grid ?(max_combinations = 20_000) ?(horizon_cap = default_horizon_cap)
+    ?(jobs = 1) ~fpga_area ~policy ts =
+  if not (Taskset.fits ts ~fpga_area) then
+    Unschedulable (Wider_than_device { amax = Taskset.amax ts })
+  else
+    match Core.Feasibility.check ~fpga_area ts with
+    | _ :: _ as violations -> Unschedulable (Infeasible violations)
+    | [] -> (
+      match witness ~horizon_cap ~fpga_area ~policy Synchronous ts with
+      | Some miss -> Unschedulable (Sync_miss miss)
+      | None ->
+        let _, truncated = Interval.sync_horizon ~cap:horizon_cap ts in
+        if truncated then
+          Inconclusive
+            {
+              reason =
+                Printf.sprintf
+                  "hyper-period exceeds the %s-unit horizon cap: no synchronous miss in the \
+                   capped prefix, but the steady state is not certified"
+                  (Time.to_string horizon_cap);
+            }
+        else
+          let grid =
+            match grid with Some g -> g | None -> Interval.parameter_grid ts
+          in
+          (match Sim.Exhaustive.search ~grid ~max_combinations ~jobs ~fpga_area ~policy ts with
+           | Sim.Exhaustive.Miss_with_offsets { offsets; miss } ->
+             Unschedulable (Offset_miss { offsets; miss })
+           | Sim.Exhaustive.Schedulable_all_offsets { combinations } ->
+             Schedulable (All_offsets { combinations; grid })
+           | Sim.Exhaustive.Too_many_combinations { combinations } ->
+             Schedulable
+               (Synchronous_only
+                  {
+                    reason =
+                      Printf.sprintf "%d grid offset combinations exceed the %d search cap"
+                        combinations max_combinations;
+                  })
+           | Sim.Exhaustive.Hyperperiod_too_large ->
+             Schedulable
+               (Synchronous_only
+                  { reason = "hyper-period exceeds the offset search's simulation cap" })))
+
+let decide ?grid ?max_combinations ?horizon_cap ?jobs ~fpga_area ~policy ts =
+  Obs.Counter.incr m_decides;
+  Obs.Span.with_ ~name:"exact.oracle.decide" (fun () ->
+      decide_inner ?grid ?max_combinations ?horizon_cap ?jobs ~fpga_area ~policy ts)

@@ -152,7 +152,8 @@ Several tasksets can be audited in one invocation (in parallel with
   $ redf audit table1.csv witness.csv --area 10 -j 2; echo "exit $?"
   audit table1.csv: clean
   warning[degenerate-utilization] task 1: C = T = 3: utilization is exactly 1, the task permanently occupies 6 columns
-  audit witness.csv: 0 errors, 1 warning, 0 infos
+  info[sufficiency-gap]: exact oracle certifies schedulability (no miss over 18 offset assignments on the 1 grid) but DP, GN1, GN2 reject: a sufficiency gap, not unsoundness
+  audit witness.csv: 0 errors, 1 warning, 1 info
   exit 0
 
 --metrics dumps a key-sorted JSON-lines snapshot of the run's metrics
@@ -208,7 +209,7 @@ canonical (key-sorted) JSON object; --analyzer picks registry entries:
   $ redf analyze table1.csv --area 10 --analyzer nec --format json | grep -o '"analyzer":"NEC"'
   "analyzer":"NEC"
   $ redf analyze table1.csv --area 10 --analyzer bogus; echo "exit $?"
-  error: unknown analyzer "bogus" (use DP, GN1, GN2, DP-original, GN1-printed, NEC)
+  error: unknown analyzer "bogus" (use DP, GN1, GN2, DP-original, GN1-printed, NEC, exact, exact-fkf, approx[1/10], approx[EPS])
   exit 2
   $ redf lint table1.csv --area 10 --format json
   {"clean":true,"diagnostics":[],"fpga_area":10,"kind":"lint","schema_version":1}
@@ -266,3 +267,59 @@ Audit verdicts are also available as canonical JSON; the schema
   $ redf audit bad.csv --area 100 --format json; echo "exit $?"
   {"clean":false,"diagnostics":[{"message":"system utilization 108.0000 exceeds the device area","rule":"device-overloaded","severity":"error"},{"message":"mutually-exclusive tasks {1,2} demand 1.8000 > 1 of a serial resource","rule":"exclusion-clique-overload","severity":"error"}],"fpga_area":100,"kind":"audit","schema_version":1}
   exit 2
+
+The exact oracle and the tunable approximate analyzer are registry
+citizens: --analyzer resolves them anywhere, the exit status follows
+the selected verdicts, and epsilon is part of the approx name (so a
+decimal spelling normalizes to the same analyzer and cache key):
+
+  $ cat > gap.csv <<'CSV'
+  > name,C,D,T,A
+  > wide1,1,4,4,4
+  > wide2,1,4,4,4
+  > CSV
+  $ redf analyze gap.csv --area 4 --analyzer dp,gn1,gn2 > /dev/null; echo "exit $?"
+  exit 2
+  $ redf analyze gap.csv --area 4 --analyzer exact > /dev/null; echo "exit $?"
+  exit 0
+  $ redf analyze gap.csv --area 4 --analyzer exact,approx --format json; echo "exit $?"
+  {"fpga_area":4,"kind":"report","schema_version":1,"system_utilization":"2","tasks":[{"A":4,"C":"1","D":"4","T":"4","name":"wide1"},{"A":4,"C":"1","D":"4","T":"4","name":"wide2"}],"time_utilization":"1/2","verdicts":[{"accepted":true,"analyzer":"exact","analyzer_version":"1","checks":[{"lhs":"0","note":"exact: no deadline miss for any of 16 first-release offset assignments on the 1 grid over [0, O_max + 2H)","rhs":"0","satisfied":true,"task":1},{"lhs":"0","note":"exact: no deadline miss for any of 16 first-release offset assignments on the 1 grid over [0, O_max + 2H)","rhs":"0","satisfied":true,"task":2}]},{"accepted":true,"analyzer":"approx[1/10]","analyzer_version":"1","checks":[{"lhs":"0","note":"US <= A(H) and the utilization-slack bound is zero: the necessary criterion holds everywhere, no test points needed","rhs":"4","satisfied":true,"task":1},{"lhs":"0","note":"US <= A(H) and the utilization-slack bound is zero: the necessary criterion holds everywhere, no test points needed","rhs":"4","satisfied":true,"task":2}]}]}
+  exit 0
+  $ redf analyze gap.csv --area 4 --analyzer 'approx[0.01]' | grep -o 'approx\[1/100\]: ACCEPT'
+  approx[1/100]: ACCEPT
+  $ redf analyze gap.csv --area 4 --analyzer 'approx[zero]'; echo "exit $?"
+  error: approx: malformed eps "zero" (want N/D or a decimal)
+  exit 2
+
+The oracle-backed audit reports the sufficiency gap on such a set as
+an informational finding (exit stays 0, even under --strict):
+
+  $ redf audit gap.csv --area 4 --strict; echo "exit $?"
+  info[sufficiency-gap]: exact oracle certifies schedulability (no miss over 16 offset assignments on the 1 grid) but DP, GN1, GN2 reject: a sufficiency gap, not unsoundness
+  audit: 0 errors, 0 warnings, 1 info
+  exit 0
+
+A demand-infeasible set is refuted by both: the oracle with a concrete
+synchronous counterexample, approx with the violated necessary
+criterion (its REJECT is exact, independent of epsilon):
+
+  $ cat > demand.csv <<'CSV'
+  > name,C,D,T,A
+  > dem1,2,2,4,3
+  > dem2,2,2,4,3
+  > CSV
+  $ redf analyze demand.csv --area 4 --analyzer exact,approx | grep -E '^(exact|approx)'
+  exact: REJECT
+  approx[1/10]: REJECT
+  $ redf analyze demand.csv --area 4 --analyzer exact,approx > /dev/null; echo "exit $?"
+  exit 2
+
+The analysis service resolves the same names, so exact and approx
+verdicts flow through serve/batch and the verdict cache unchanged:
+
+  $ cat > exact-requests.jsonl <<'EOF2'
+  > {"id":1,"analyzer":"exact","fpga_area":4,"tasks":[{"name":"wide1","C":"1","D":4,"T":4,"A":4},{"name":"wide2","C":"1","D":4,"T":4,"A":4}]}
+  > {"id":2,"analyzer":"approx[1/10]","fpga_area":4,"tasks":[{"name":"wide1","C":"1","D":4,"T":4,"A":4},{"name":"wide2","C":"1","D":4,"T":4,"A":4}]}
+  > EOF2
+  $ redf batch exact-requests.jsonl | grep -c '"accepted":true'
+  2

@@ -106,10 +106,10 @@ let cached_equals_fresh () =
       check_str "hit, permuted request"
         (verdict_str (fresh table1_swapped))
         (verdict_str (cached table1_swapped)))
-    Core.Analyzer.all;
+    (Core.Analyzer.all ());
   let s = Cache.Verdicts.stats cache in
-  check_int "one miss per analyzer" (List.length Core.Analyzer.all) s.Cache.Lru.misses;
-  check_int "two hits per analyzer" (2 * List.length Core.Analyzer.all) s.Cache.Lru.hits
+  check_int "one miss per analyzer" (List.length (Core.Analyzer.all ())) s.Cache.Lru.misses;
+  check_int "two hits per analyzer" (2 * List.length (Core.Analyzer.all ())) s.Cache.Lru.hits
 
 (* random (C, D, T, A) rows with C <= min(D, T), as integers so any
    permutation is still a valid taskset *)

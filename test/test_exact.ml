@@ -164,6 +164,169 @@ let prop_exhaustive_covers_sync =
         Sim.Engine.schedulable { cfg with Sim.Engine.horizon = hyper } t
       | _ -> true)
 
+(* --- the exact oracle (lib/exact) --- *)
+
+let policy = Sim.Policy.edf_nf
+let verdict_str v = Core.Json.to_string (Core.Verdict.to_json v)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* pinned alongside examples/tasksets/gap_*.csv: every sufficient test
+   rejects, the oracle accepts with a full offset certificate *)
+let oracle_gap_regression () =
+  let cases =
+    [
+      (ts [ ("wide1", "1", "4", "4", 4); ("wide2", "1", "4", "4", 4) ], 4, 16);
+      ( ts [ ("half1", "1", "3", "3", 2); ("half2", "1", "3", "3", 2); ("half3", "1", "3", "3", 2) ],
+        2,
+        27 );
+    ]
+  in
+  List.iter
+    (fun (t, area, combos) ->
+      List.iter
+        (fun a -> check_bool (a.Core.Analyzer.name ^ " rejects") false
+             (Core.Analyzer.accepts a ~fpga_area:area t))
+        Core.Analyzer.defaults;
+      match Exact.Oracle.decide ~fpga_area:area ~policy t with
+      | Exact.Oracle.Schedulable (Exact.Oracle.All_offsets { combinations; _ }) ->
+        Alcotest.(check int) "combinations" combos combinations
+      | _ -> Alcotest.fail "expected a full offset certificate")
+    cases
+
+(* pinned alongside examples/tasksets/infeasible_*.csv *)
+let oracle_rejects_infeasible () =
+  let exclusive = ts [ ("ex1", "2", "3", "4", 3); ("ex2", "2", "3", "4", 3) ] in
+  (match Exact.Oracle.decide ~fpga_area:4 ~policy exclusive with
+   | Exact.Oracle.Unschedulable (Exact.Oracle.Sync_miss _) -> ()
+   | _ -> Alcotest.fail "expected a synchronous miss");
+  let demand = ts [ ("dem1", "2", "2", "4", 3); ("dem2", "2", "2", "4", 3) ] in
+  (match Exact.Oracle.decide ~fpga_area:4 ~policy demand with
+   | Exact.Oracle.Unschedulable _ -> ()
+   | _ -> Alcotest.fail "expected unschedulable");
+  match Exact.Approx.analyze ~fpga_area:4 demand with
+  | Exact.Approx.Refuted_at { at; demand = d; supply } ->
+    Core_helpers.check_time "refutation instant" (Time.of_units 2) at;
+    Alcotest.(check int) "demand column-ticks" (2 * 2 * Time.scale * 3) d;
+    Alcotest.(check int) "supply column-ticks" (4 * 2 * Time.scale) supply
+  | _ -> Alcotest.fail "expected an area-demand refutation"
+
+(* the oracle's conclusion must agree with the primitives it is built
+   from, checked independently per conclusion *)
+let prop_oracle_matches_exhaustive =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 2 3)
+        (let* t_units = oneofl [ 2; 3; 4 ] in
+         let period = Model.Time.of_units t_units in
+         let* c = int_range 1 (Model.Time.ticks period) in
+         let* area = int_range 3 8 in
+         return (Model.Task.make ~exec:(Model.Time.of_ticks c) ~deadline:period ~period ~area ()))
+      >|= Model.Taskset.of_list)
+  in
+  Core_helpers.qtest ~count:60 "oracle agrees with Sim.Exhaustive and the engine" gen (fun t ->
+      match Exact.Oracle.decide ~fpga_area ~policy t with
+      | Exact.Oracle.Schedulable (Exact.Oracle.All_offsets { combinations; grid }) ->
+        Sim.Exhaustive.search ~grid ~fpga_area ~policy t
+        = Sim.Exhaustive.Schedulable_all_offsets { combinations }
+      | Exact.Oracle.Unschedulable (Exact.Oracle.Sync_miss _) ->
+        let horizon, _ = Exact.Interval.sync_horizon t in
+        let cfg = Sim.Engine.default_config ~fpga_area ~policy in
+        not (Sim.Engine.schedulable { cfg with Sim.Engine.horizon = horizon } t)
+      | Exact.Oracle.Unschedulable (Exact.Oracle.Offset_miss { offsets; _ }) -> (
+        match Sim.Exhaustive.search ~fpga_area ~policy t with
+        | Sim.Exhaustive.Miss_with_offsets { offsets = o; _ } -> o = offsets
+        | _ -> false)
+      | _ -> true)
+
+(* the sound direction of the epsilon contract: an approx REJECT claims
+   infeasibility, so the oracle can never conclusively accept *)
+let prop_approx_reject_implies_oracle_reject =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 2 3)
+        (let* t_units = oneofl [ 2; 3; 4 ] in
+         let period = Model.Time.of_units t_units in
+         let* c = int_range 1 (Model.Time.ticks period) in
+         let* d_frac = int_range 5 10 in
+         let deadline = Model.Time.of_ticks (max 1 (Model.Time.ticks period * d_frac / 10)) in
+         let exec = Model.Time.of_ticks (min c (Model.Time.ticks deadline)) in
+         let* area = int_range 3 8 in
+         return (Model.Task.make ~exec ~deadline ~period ~area ()))
+      >|= Model.Taskset.of_list)
+  in
+  Core_helpers.qtest ~count:200 "approx REJECT => oracle does not conclusively accept" gen
+    (fun t ->
+      match Exact.Approx.analyze ~fpga_area t with
+      | Exact.Approx.Accepted _ -> true
+      | refutation -> (
+        match Exact.Oracle.decide ~fpga_area ~policy t with
+        | Exact.Oracle.Schedulable (Exact.Oracle.All_offsets _) -> false
+        | Exact.Oracle.Schedulable (Exact.Oracle.Synchronous_only _) -> (
+          (* a refutation point inside the certified synchronous horizon
+             would contradict the certificate *)
+          match refutation with
+          | Exact.Approx.Refuted_at { at; _ } ->
+            let horizon, truncated = Exact.Interval.sync_horizon t in
+            truncated || Time.(at > horizon)
+          | _ -> true)
+        | _ -> true))
+
+(* the oracle verdict canonicalizes internally, so a cache hit remapped
+   through Cache.Verdicts is byte-for-byte a fresh computation on the
+   permuted taskset *)
+let exact_cached_equals_fresh_permuted () =
+  let t = ts [ ("b", "1", "3", "3", 2); ("a", "1", "4", "4", 4); ("c", "2", "5", "5", 3) ] in
+  let rev = Model.Taskset.of_list (List.rev (Model.Taskset.to_list t)) in
+  List.iter
+    (fun analyzer ->
+      let cache = Cache.Verdicts.create ~metrics_prefix:"t.exact.cache" ~capacity:8 () in
+      let fresh = analyzer.Core.Analyzer.decide ~fpga_area:6 rev in
+      let (_ : Core.Verdict.t) = Cache.Verdicts.decide cache ~analyzer ~fpga_area:6 t in
+      let cached = Cache.Verdicts.decide cache ~analyzer ~fpga_area:6 rev in
+      Alcotest.(check string)
+        ("cached = fresh for " ^ analyzer.Core.Analyzer.name)
+        (verdict_str fresh) (verdict_str cached))
+    [ Exact.Registry.exact_nf; Exact.Registry.approx_with Exact.Approx.default_eps ]
+
+let oracle_jobs_deterministic () =
+  let d j = Exact.Oracle.decide ~grid:(Time.of_ticks 500) ~jobs:j ~fpga_area ~policy witness in
+  check_bool "oracle conclusion identical for -j1 and -j4" true (d 1 = d 4);
+  match d 4 with
+  | Exact.Oracle.Unschedulable (Exact.Oracle.Offset_miss _) -> ()
+  | _ -> Alcotest.fail "expected the sub-grid witness offsets to refute"
+
+(* --- registry --- *)
+
+let registry_resolution () =
+  Exact.Registry.ensure ();
+  Exact.Registry.ensure ();
+  (* idempotent *)
+  let resolved name =
+    match Core.Analyzer.of_name name with
+    | Ok a -> a.Core.Analyzer.name
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check string) "exact" "exact" (resolved "exact");
+  Alcotest.(check string) "exact-fkf" "exact-fkf" (resolved "EXACT-FKF");
+  Alcotest.(check string) "bare approx = default eps" "approx[1/10]" (resolved "approx");
+  Alcotest.(check string) "decimal eps normalizes" "approx[1/10]" (resolved "APPROX[0.1]");
+  Alcotest.(check string) "fraction eps" "approx[1/100]" (resolved "approx[1/100]");
+  check_bool "duplicate registration keeps one entry" true
+    (List.length (List.filter (fun a -> a.Core.Analyzer.name = "exact") (Core.Analyzer.all ()))
+     = 1);
+  check_bool "zero eps rejected" true (Result.is_error (Core.Analyzer.of_name "approx[0]"));
+  check_bool "negative eps rejected" true (Result.is_error (Core.Analyzer.of_name "approx[-1/2]"));
+  check_bool "malformed eps rejected" true (Result.is_error (Core.Analyzer.of_name "approx[x]"));
+  match Core.Analyzer.of_name "nope" with
+  | Ok _ -> Alcotest.fail "bogus name resolved"
+  | Error e ->
+    check_bool "error lists exact" true (contains e "exact");
+    check_bool "error lists the approx syntax" true (contains e "approx[EPS]")
+
 let () =
   Alcotest.run "exact"
     [
@@ -184,4 +347,16 @@ let () =
           Alcotest.test_case "search limits" `Quick exhaustive_limits;
           prop_exhaustive_covers_sync;
         ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "gap regression (sufficient tests reject)" `Quick
+            oracle_gap_regression;
+          Alcotest.test_case "rejects infeasible sets" `Quick oracle_rejects_infeasible;
+          Alcotest.test_case "cached = fresh under permutation" `Quick
+            exact_cached_equals_fresh_permuted;
+          Alcotest.test_case "deterministic for any jobs" `Quick oracle_jobs_deterministic;
+          prop_oracle_matches_exhaustive;
+          prop_approx_reject_implies_oracle_reject;
+        ] );
+      ("registry", [ Alcotest.test_case "name resolution" `Quick registry_resolution ]);
     ]
