@@ -9,7 +9,8 @@
      lint      static lint pass over a taskset CSV
      audit     lint + cross-analyzer soundness audit against simulation
      check-src typedtree static analysis of the repo's own sources (.cmt files)
-     serve     analysis service: line-oriented JSON over stdio or a socket
+     serve     analysis service: line-oriented JSON over stdio, socket and/or TCP
+     bench-serve  drive a serve loop with concurrent clients; latency/throughput
      batch     evaluate a file of service requests (in-process or --connect)
 
    Long-running subcommands accept --metrics[=FILE] to dump a runtime
@@ -797,17 +798,83 @@ let require_cache_size cache_size k =
   end
   else k ()
 
+let require_positive flag n k =
+  if n < 1 then begin
+    Printf.eprintf "error: invalid %s %d: expected a positive count\n" flag n;
+    2
+  end
+  else k ()
+
+let cache_shards_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "cache-shards" ] ~docv:"N"
+        ~doc:
+          "Split the verdict cache over $(docv) independently locked LRU shards (deterministic \
+           key hash), so worker domains do not serialize on one cache mutex. Sharding never \
+           changes response bytes.")
+
+(* HOST:PORT with a numeric host (rindex, so bracket-less IPv6 works)
+   or "localhost"; validated here as a usage error like --jobs *)
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "invalid --listen %s: expected HOST:PORT" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p >= 0 && p <= 65535 -> Ok (host, p)
+    | _ -> Error (Printf.sprintf "invalid --listen %s: port must be an integer in 0..65535" s))
+
 let serve_cmd =
-  let run socket cache_size timeout jobs metrics =
+  let run socket listen cache_size shards max_pending max_inflight timeout jobs metrics =
     with_jobs jobs @@ fun ~jobs ->
     require_cache_size cache_size @@ fun () ->
-    with_metrics metrics @@ fun () ->
-    Server.Engine.with_engine ~cache_size ~jobs @@ fun engine ->
-    Server.Engine.install_stop_signals engine;
-    (match socket with
-     | None -> Server.Engine.serve engine ?timeout ~input:Unix.stdin ~output:Unix.stdout ()
-     | Some path -> Server.Engine.serve_socket engine ?timeout ~path ());
-    0
+    require_positive "--cache-shards" shards @@ fun () ->
+    require_positive "--max-pending" max_pending @@ fun () ->
+    require_positive "--max-inflight" max_inflight @@ fun () ->
+    let listen =
+      match listen with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (parse_host_port s)
+    in
+    match listen with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+    | Ok listen -> (
+      with_metrics metrics @@ fun () ->
+      Server.Engine.with_engine ~cache_size ~shards ~jobs @@ fun engine ->
+      Server.Engine.install_stop_signals engine;
+      match (socket, listen) with
+      | None, None ->
+        Server.Engine.serve engine ?timeout ~input:Unix.stdin ~output:Unix.stdout ();
+        0
+      | _ -> (
+        let limits =
+          { Server.Loop.default_limits with Server.Loop.max_pending; max_inflight }
+        in
+        match
+          let unix_l = Option.map (fun path -> Server.Loop.unix_listener ~path) socket in
+          let tcp_l =
+            Option.map
+              (fun (host, port) ->
+                let l = Server.Loop.tcp_listener ~host ~port in
+                Printf.eprintf "listening on %s:%d\n%!" host (Server.Loop.bound_port l);
+                l)
+              listen
+          in
+          List.filter_map Fun.id [ unix_l; tcp_l ]
+        with
+        | exception Failure msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+        | exception Unix.Unix_error (e, fn, arg) ->
+          Printf.eprintf "error: %s(%s): %s\n" fn arg (Unix.error_message e);
+          1
+        | listeners ->
+          Server.Loop.serve engine ?timeout ~limits listeners;
+          0))
   in
   let socket_arg =
     Arg.(
@@ -816,7 +883,33 @@ let serve_cmd =
       & info [ "socket" ] ~docv:"PATH"
           ~doc:
             "Listen on a Unix-domain socket at $(docv) instead of serving stdin/stdout; the \
-             socket file is removed on shutdown.")
+             socket file is removed on shutdown. Combinable with $(b,--listen).")
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Listen on TCP $(docv) (numeric address or $(b,localhost); port 0 picks an \
+             ephemeral port, announced on stderr). Combinable with $(b,--socket).")
+  in
+  let max_pending_arg =
+    Arg.(
+      value & opt int Server.Loop.default_limits.Server.Loop.max_pending
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Per-connection backpressure bound: a connection with $(docv) unanswered requests \
+             stops being read until they drain.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int Server.Loop.default_limits.Server.Loop.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Global admission bound: once $(docv) requests are queued across all connections, \
+             further requests are answered immediately with a well-formed \
+             $(b,server overloaded) error (load shedding) instead of queueing.")
   in
   let timeout_arg =
     Arg.(
@@ -825,10 +918,13 @@ let serve_cmd =
       & info [ "timeout" ] ~docv:"SECONDS"
           ~doc:
             "Drop a partially received request line after $(docv) seconds with an error \
-             response. Idle connections never time out.")
+             response, measured from when the partial started (trickling bytes does not extend \
+             it). Idle connections never time out.")
   in
   let term =
-    Term.(const run $ socket_arg $ cache_size_arg $ timeout_arg $ jobs_arg $ metrics_arg)
+    Term.(
+      const run $ socket_arg $ listen_arg $ cache_size_arg $ cache_shards_arg $ max_pending_arg
+      $ max_inflight_arg $ timeout_arg $ jobs_arg $ metrics_arg)
   in
   let info =
     Cmd.info "serve"
@@ -839,13 +935,78 @@ let serve_cmd =
           `P
             "Reads one JSON request per line — \
              {\"analyzer\":\"GN2\",\"fpga_area\":10,\"tasks\":[{\"C\":\"1.26\",\"D\":\"7\",\"T\":\"7\",\"A\":9},...]} \
-             — and writes one JSON verdict line per request, in request order, over stdin/stdout \
-             or a Unix-domain socket ($(b,--socket)). Verdicts are cached under a canonical \
-             taskset key (task order and names do not matter), so repeated queries are answered \
-             from the LRU cache with byte-identical output. A malformed request yields an error \
-             response and never terminates the service; SIGINT/SIGTERM drain the requests \
-             already received before exiting. Responses match $(b,redf analyze --format json) \
-             verdict for verdict.";
+             — and writes one JSON verdict line per request, in request order, over stdin/stdout, \
+             a Unix-domain socket ($(b,--socket)) and/or TCP ($(b,--listen)). Socket and TCP \
+             serving multiplex any number of concurrent client connections over one event loop, \
+             fanning request evaluation out over $(b,-j) worker domains; per connection, \
+             responses are byte-identical to serial stdio serving. Verdicts are cached under a \
+             canonical taskset key (task order and names do not matter) in a sharded LRU, so \
+             repeated queries are answered from cache with byte-identical output. A malformed \
+             request yields an error response and never terminates the service; SIGINT/SIGTERM \
+             drain the requests already received before exiting. Responses match $(b,redf \
+             analyze --format json) verdict for verdict.";
+        ]
+  in
+  Cmd.v info term
+
+let bench_serve_cmd =
+  let run clients requests cache_size shards tcp no_check out jobs metrics =
+    with_jobs jobs @@ fun ~jobs ->
+    require_cache_size cache_size @@ fun () ->
+    require_positive "--cache-shards" shards @@ fun () ->
+    require_positive "--clients" clients @@ fun () ->
+    require_positive "--requests" requests @@ fun () ->
+    with_metrics metrics @@ fun () ->
+    Bench_serve.run ~clients ~requests ~cache_size ~shards ~jobs ~tcp ~check:(not no_check) ~out
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"K" ~doc:"Concurrent client connections (one domain each).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "requests" ] ~docv:"M" ~doc:"Synchronous requests per client.")
+  in
+  let tcp_arg =
+    Arg.(
+      value & flag
+      & info [ "tcp" ]
+          ~doc:"Benchmark over TCP on 127.0.0.1 (ephemeral port) instead of a Unix-domain socket.")
+  in
+  let no_check_arg =
+    Arg.(
+      value & flag
+      & info [ "no-check" ]
+          ~doc:
+            "Skip the determinism check (per-client byte-equality against a serial $(b,-j 1) \
+             in-process evaluation).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "results/BENCH_serve.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON result line.")
+  in
+  let term =
+    Term.(
+      const run $ clients_arg $ requests_arg $ cache_size_arg $ cache_shards_arg $ tcp_arg
+      $ no_check_arg $ out_arg $ jobs_arg $ metrics_arg)
+  in
+  let info =
+    Cmd.info "bench-serve"
+      ~doc:"Benchmark the analysis service under concurrent clients"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Starts an in-process $(b,redf serve) event loop, drives it with $(b,--clients) \
+             concurrent connections each issuing $(b,--requests) synchronous requests, and \
+             reports client-side p50/p99 latency and request throughput as one JSON line \
+             (stdout and $(b,--out)). Unless $(b,--no-check), every client's response stream is \
+             compared byte-for-byte against a serial in-process evaluation of the same request \
+             lines — concurrency must change wall-clock only, never bytes; a mismatch exits 1.";
         ]
   in
   Cmd.v info term
@@ -943,6 +1104,7 @@ let main_cmd =
       audit_cmd;
       check_src_cmd;
       serve_cmd;
+      bench_serve_cmd;
       batch_cmd;
       metrics_diff_cmd;
     ]

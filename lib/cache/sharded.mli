@@ -1,0 +1,44 @@
+(** A sharded LRU: N independent {!Lru} shards selected by a
+    deterministic hash of the key, so concurrent lookups from many
+    worker domains (or many served connections) stop serializing on one
+    mutex.
+
+    Each shard is a full {!Lru} with its own lock and its own recency
+    list; a key always maps to the same shard (FNV-1a over the key
+    bytes, no per-process seed), so the cache contract — a cached value
+    is exactly what a fresh computation would produce — is unchanged.
+    Eviction is per shard: total capacity is split evenly (rounded up),
+    and a hot shard evicts independently of a cold one, so the sharded
+    cache may retain a slightly different key set than a single LRU of
+    the same total capacity would.  Values being deterministic functions
+    of their key (the {!Verdicts} contract), this affects only hit
+    rates, never bytes.
+
+    The stats surface is the single-LRU one summed across shards:
+    {!stats}, {!length} and {!capacity} aggregate, and every shard
+    shares the same [metrics_prefix] so the [cache.*] observability
+    counters already aggregate process-wide. *)
+
+type 'v t
+
+val create : ?metrics_prefix:string -> ?shards:int -> capacity:int -> unit -> 'v t
+(** [shards] (default 8) independent {!Lru}s of [ceil (capacity /
+    shards)] entries each; [capacity = 0] disables caching entirely,
+    as for {!Lru.create}.
+    @raise Invalid_argument when [shards < 1] or [capacity < 0]. *)
+
+val shards : 'v t -> int
+val capacity : 'v t -> int
+(** Total capacity summed across shards (≥ the requested capacity,
+    because the per-shard split rounds up). *)
+
+val length : 'v t -> int
+
+val find : 'v t -> string -> 'v option
+val put : 'v t -> string -> 'v -> unit
+
+val stats : 'v t -> Lru.stats
+(** Hit/miss/eviction totals summed across shards. *)
+
+val shard_of_key : 'v t -> string -> int
+(** Which shard serves [key] (deterministic; for tests). *)

@@ -1,6 +1,7 @@
-type t = { lru : Core.Verdict.t Lru.t }
+type t = { lru : Core.Verdict.t Sharded.t }
 
-let create ?metrics_prefix ~capacity () = { lru = Lru.create ?metrics_prefix ~capacity () }
+let create ?metrics_prefix ?(shards = 1) ~capacity () =
+  { lru = Sharded.create ?metrics_prefix ~shards ~capacity () }
 
 (* the cached verdict's checks index the canonical taskset: check at
    canonical position [p] belongs to original task [order.(p)] *)
@@ -19,14 +20,15 @@ let decide t ~analyzer ~fpga_area ts =
   let key = Canonical.key ~analyzer ~fpga_area ts in
   let order = Canonical.order ts in
   let canonical_verdict =
-    match Lru.find t.lru key with
+    match Sharded.find t.lru key with
     | Some v -> v
     | None ->
       let v = analyzer.Core.Analyzer.decide ~fpga_area (Canonical.apply order ts) in
-      Lru.put t.lru key v;
+      Sharded.put t.lru key v;
       v
   in
   remap order canonical_verdict
 
-let stats t = Lru.stats t.lru
-let length t = Lru.length t.lru
+let stats t = Sharded.stats t.lru
+let length t = Sharded.length t.lru
+let shards t = Sharded.shards t.lru

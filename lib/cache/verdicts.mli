@@ -11,12 +11,17 @@
     equals the directly computed one exactly — a property
     [test_cache.ml] asserts against randomized tasksets.
 
-    Safe to share across worker domains ({!Lru}'s locking). *)
+    Safe to share across worker domains ({!Lru}'s locking).  The store
+    is a {!Sharded} LRU: [shards] defaults to [1] (a plain LRU, exact
+    single-threaded hit/miss accounting) and the serve loop passes more
+    shards so worker domains stop serializing on one cache mutex —
+    sharding changes lock granularity only, never answers. *)
 
 type t
 
-val create : ?metrics_prefix:string -> capacity:int -> unit -> t
-(** See {!Lru.create}; [metrics_prefix] defaults to ["cache"]. *)
+val create : ?metrics_prefix:string -> ?shards:int -> capacity:int -> unit -> t
+(** See {!Sharded.create}; [metrics_prefix] defaults to ["cache"],
+    [shards] to [1]. *)
 
 val decide : t -> analyzer:Core.Analyzer.t -> fpga_area:int -> Model.Taskset.t -> Core.Verdict.t
 (** [analyzer.decide ~fpga_area ts], served from the cache when an
@@ -24,4 +29,9 @@ val decide : t -> analyzer:Core.Analyzer.t -> fpga_area:int -> Model.Taskset.t -
     for this analyzer name+version and device area. *)
 
 val stats : t -> Lru.stats
+(** Hit/miss/eviction totals summed across shards. *)
+
 val length : t -> int
+
+val shards : t -> int
+(** Number of shards backing the store. *)

@@ -5,25 +5,24 @@ type t = {
 }
 
 (* request/error totals are functions of the input stream alone;
-   batching and connection counts depend on arrival timing *)
+   batching and timeout counts depend on arrival timing *)
 let m_requests = Obs.Counter.make "server.requests"
 let m_errors = Obs.Counter.make "server.errors"
 let m_batches = Obs.Counter.make ~det:false "server.batches"
-let m_connections = Obs.Counter.make ~det:false "server.connections"
 let m_timeouts = Obs.Counter.make ~det:false "server.timeouts"
 let request_timer = Obs.Timer.make "server.request"
 
-let create ?(cache_size = 4096) ~jobs () =
+let create ?(cache_size = 4096) ?(shards = 8) ~jobs () =
   {
-    cache = Cache.Verdicts.create ~capacity:cache_size ();
+    cache = Cache.Verdicts.create ~shards ~capacity:cache_size ();
     pool = Parallel.Pool.create ~jobs:(Parallel.resolve_jobs jobs);
     stop = Atomic.make false;
   }
 
 let shutdown t = Parallel.Pool.shutdown t.pool
 
-let with_engine ?cache_size ~jobs f =
-  let t = create ?cache_size ~jobs () in
+let with_engine ?cache_size ?shards ~jobs f =
+  let t = create ?cache_size ?shards ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let cache_stats t = Cache.Verdicts.stats t.cache
@@ -57,9 +56,47 @@ let handle_lines t lines =
   Obs.Counter.incr m_batches;
   Parallel.Pool.map t.pool (handle_line t) lines
 
-(* --- fd plumbing --- *)
+(* --- framing items to protocol responses --- *)
 
-let max_request_bytes = 16 * 1024 * 1024
+let too_large_message = "request too large: line exceeds 16 MiB"
+let timeout_message = "request timeout: incomplete request line dropped"
+
+type step = Eval of string | Emit of string
+
+let plan items =
+  List.map
+    (fun (item : Framing.item) ->
+      match item with
+      | Framing.Line line -> Eval line
+      | Framing.Too_large _ ->
+        Obs.Counter.incr m_errors;
+        Emit (Protocol.error_response too_large_message)
+      | Framing.Timed_out ->
+        Obs.Counter.incr m_timeouts;
+        Emit (Protocol.error_response timeout_message))
+    items
+
+let render_steps t buf steps =
+  let evals = List.filter_map (function Eval line -> Some line | Emit _ -> None) steps in
+  let responses =
+    match Array.of_list evals with [||] -> [||] | batch -> handle_lines t batch
+  in
+  let idx = ref 0 in
+  List.iter
+    (fun s ->
+      let response =
+        match s with
+        | Eval _ ->
+          let r = responses.(!idx) in
+          incr idx;
+          r
+        | Emit r -> r
+      in
+      Buffer.add_string buf response;
+      Buffer.add_char buf '\n')
+    steps
+
+(* --- fd plumbing --- *)
 
 let rec write_all fd s off =
   if off < String.length s then begin
@@ -68,130 +105,66 @@ let rec write_all fd s off =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off
   end
 
-(* split [s] into complete lines and the trailing partial *)
-let split_lines s =
-  match String.rindex_opt s '\n' with
-  | None -> ([], s)
-  | Some last ->
-    let complete = String.sub s 0 last in
-    let partial = String.sub s (last + 1) (String.length s - last - 1) in
-    (String.split_on_char '\n' complete, partial)
-
 let not_blank line = String.trim line <> ""
 
 let serve t ?timeout ~input ~output () =
   let chunk = Bytes.create 65536 in
-  let partial = ref "" in
-  (* wall-clock instant by which the rest of the partial line must
-     arrive; armed only while a partial request is pending *)
-  let deadline = ref None in
-  let respond lines =
-    match Array.of_list (List.filter not_blank lines) with
-    | [||] -> ()
-    | batch ->
-      let responses = handle_lines t batch in
-      let payload = String.concat "" (Array.to_list (Array.map (fun r -> r ^ "\n") responses)) in
-      write_all output payload 0
-  in
-  let drop_partial msg =
-    Obs.Counter.incr m_timeouts;
-    partial := "";
-    deadline := None;
-    write_all output (Protocol.error_response msg ^ "\n") 0
+  let framing = Framing.create ?timeout () in
+  let respond items =
+    match plan items with
+    | [] -> ()
+    | steps ->
+      let buf = Buffer.create 1024 in
+      render_steps t buf steps;
+      write_all output (Buffer.contents buf) 0
   in
   let rec loop () =
     if stop_requested t then ()
     else begin
       let tick =
-        match !deadline with
+        match Framing.deadline framing with
         | None -> 0.5
         | Some d -> Float.max 0.0 (Float.min 0.5 (d -. Unix.gettimeofday ()))
       in
       match Unix.select [ input ] [] [] tick with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       | [], _, _ ->
-        (match !deadline with
-         | Some d when Unix.gettimeofday () >= d ->
-           drop_partial "request timeout: incomplete request line dropped"
-         | _ -> ());
+        respond (Framing.check_deadline framing ~now:(Unix.gettimeofday ()));
         loop ()
       | _ -> (
         match Unix.read input chunk 0 (Bytes.length chunk) with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
         | 0 ->
-          (* EOF: everything left, including an unterminated final
-             line, is the tail of the request stream *)
-          let lines, last = split_lines !partial in
-          partial := "";
-          respond (lines @ [ last ])
+          (* EOF: an unterminated final line is the stream's last request *)
+          respond (Framing.finish framing)
         | n ->
-          let lines, rest = split_lines (!partial ^ Bytes.sub_string chunk 0 n) in
-          partial := rest;
-          if String.length rest > max_request_bytes then
-            drop_partial "request too large: line exceeds 16 MiB"
-          else begin
-            deadline :=
-              (match (rest, timeout) with
-               | "", _ | _, None -> None
-               | _, Some s -> Some (Unix.gettimeofday () +. s));
-            respond lines
-          end;
+          respond (Framing.feed framing ~now:(Unix.gettimeofday ()) (Bytes.sub_string chunk 0 n));
+          respond (Framing.check_deadline framing ~now:(Unix.gettimeofday ()));
           loop ())
     end
   in
-  loop ();
-  (* graceful drain: answer the complete lines already received *)
-  let lines, _ = split_lines !partial in
-  respond lines
+  loop ()
+(* graceful drain needs no extra work here: complete lines were
+   answered as they arrived, and a pending partial is dropped *)
 
-(* --- Unix-domain socket --- *)
+(* --- client (redf batch --connect / bench-serve) --- *)
 
-let remove_stale_socket path =
-  match Unix.lstat path with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
-  | _ -> failwith (path ^ ": exists and is not a socket; refusing to replace it")
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+let string_of_addr = function
+  | Unix.ADDR_UNIX path -> path
+  | Unix.ADDR_INET (host, port) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) port
 
-let serve_socket t ?timeout ~path () =
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.set_close_on_exec sock;
-  remove_stale_socket path;
-  Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 16;
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close sock with Unix.Unix_error _ -> ());
-      try Unix.unlink path with Unix.Unix_error _ -> ())
-    (fun () ->
-      let rec accept_loop () =
-        if not (stop_requested t) then begin
-          match Unix.select [ sock ] [] [] 0.5 with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-          | [], _, _ -> accept_loop ()
-          | _ -> (
-            match Unix.accept sock with
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-            | conn, _ ->
-              Obs.Counter.incr m_connections;
-              (* a client that vanishes mid-connection (EPIPE and
-                 friends) must not take the server down with it *)
-              (try serve t ?timeout ~input:conn ~output:conn ()
-               with Unix.Unix_error _ -> ());
-              (try Unix.close conn with Unix.Unix_error _ -> ());
-              accept_loop ())
-        end
-      in
-      accept_loop ())
-
-(* --- client (redf batch --connect) --- *)
-
-let client_roundtrip ~path lines =
+let client_roundtrip_addr ~addr lines =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect sock (Unix.ADDR_UNIX path) with
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (match addr with
+   | Unix.ADDR_INET _ -> (
+     (* latency matters more than segment count for request/response *)
+     try Unix.setsockopt sock Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+   | _ -> ());
+  match Unix.connect sock addr with
   | exception Unix.Unix_error (e, _, _) ->
     (try Unix.close sock with Unix.Unix_error _ -> ());
-    Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+    Error (Printf.sprintf "%s: %s" (string_of_addr addr) (Unix.error_message e))
   | () ->
     Fun.protect
       ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
@@ -246,3 +219,5 @@ let client_roundtrip ~path lines =
           String.split_on_char '\n' (Buffer.contents received) |> List.filter not_blank
         in
         Ok (Array.of_list responses))
+
+let client_roundtrip ~path lines = client_roundtrip_addr ~addr:(Unix.ADDR_UNIX path) lines

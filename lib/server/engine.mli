@@ -1,19 +1,24 @@
 (** The request-serving engine behind [redf serve] and [redf batch].
 
-    One engine owns the process-wide verdict cache ({!Cache.Verdicts})
-    and a {!Parallel.Pool} of worker domains; every front end — the
-    stdin/stdout loop, the Unix-domain-socket loop, an in-process batch
-    — funnels through {!handle_line}, so they all share the cache and
-    return identical bytes for identical requests.
+    One engine owns the process-wide verdict cache ({!Cache.Verdicts},
+    sharded — see [shards] below) and a {!Parallel.Pool} of worker
+    domains; every front end — the stdin/stdout loop, the multi-client
+    event loop ({!Loop}), an in-process batch — funnels through
+    {!handle_line}, so they all share the cache and return identical
+    bytes for identical requests.
 
     Contracts:
     - {e isolation}: {!handle_line} never raises — a malformed or
       crashing request yields an error-response line, the process (and
       the other requests of the batch) continue;
     - {e determinism}: responses are written in request order and their
-      bytes are independent of the worker count and of cache state
-      (cached answers are remapped to the request's task order, see
-      {!Cache.Verdicts});
+      bytes are independent of the worker count, the shard count and
+      cache state (cached answers are remapped to the request's task
+      order, see {!Cache.Verdicts});
+    - {e framing}: request framing — the line-byte cap, the
+      partial-line timeout, and the rule that framing errors never
+      swallow the well-formed requests around them — is {!Framing}'s;
+      both serve loops consume its items through {!plan};
     - {e graceful drain}: after {!request_stop} (or SIGINT/SIGTERM once
       {!install_stop_signals} ran) the serve loops finish answering
       every complete request line already received, then return, so a
@@ -21,16 +26,18 @@
 
 type t
 
-val create : ?cache_size:int -> jobs:int -> unit -> t
+val create : ?cache_size:int -> ?shards:int -> jobs:int -> unit -> t
 (** [cache_size] (default 4096 entries; 0 disables caching) bounds the
-    verdict LRU; [jobs] follows the CLI convention (resolved via
-    {!Parallel.resolve_jobs}: 0 = one worker per core).
-    @raise Invalid_argument when [cache_size < 0]. *)
+    verdict LRU, split over [shards] (default 8) independently locked
+    shards so worker domains don't serialize on one cache mutex; [jobs]
+    follows the CLI convention (resolved via {!Parallel.resolve_jobs}:
+    0 = one worker per core).
+    @raise Invalid_argument when [cache_size < 0] or [shards < 1]. *)
 
 val shutdown : t -> unit
 (** Join the worker domains.  The engine must not be used afterwards. *)
 
-val with_engine : ?cache_size:int -> jobs:int -> (t -> 'a) -> 'a
+val with_engine : ?cache_size:int -> ?shards:int -> jobs:int -> (t -> 'a) -> 'a
 (** [create], run, [shutdown] (also on exception). *)
 
 val cache_stats : t -> Cache.Lru.stats
@@ -48,25 +55,46 @@ val handle_line : t -> string -> string
 val handle_lines : t -> string array -> string array
 (** Fan a batch out over the pool; responses in request order. *)
 
+(** {2 Framing items to responses}
+
+    Both serve loops share this mapping, so a dropped request is
+    answered with byte-identical error lines whether it arrived over
+    stdio, a Unix socket or TCP. *)
+
+val too_large_message : string
+val timeout_message : string
+
+type step =
+  | Eval of string  (** a request line, to be answered by {!handle_line} *)
+  | Emit of string  (** a pre-formed response line (framing error, shed) *)
+
+val plan : Framing.item list -> step list
+(** Map framed items to steps, in order: [Line] → [Eval]; [Too_large] /
+    [Timed_out] → the matching [Emit] error response (and the matching
+    counters).  Order is the response-order contract: an [Emit] for a
+    dropped line sits exactly where that line sat in the request
+    stream. *)
+
 val serve : t -> ?timeout:float -> input:Unix.file_descr -> output:Unix.file_descr -> unit -> unit
 (** Serve line-oriented requests until EOF or {!request_stop}.  Lines
     are batched by arrival (whatever is buffered is evaluated as one
     pool batch), blank lines are ignored, and a line longer than 16 MiB
-    is answered with an error and discarded.  [timeout] (seconds)
-    bounds the wait for the rest of a {e partially} received request
-    line; on expiry the partial input is dropped and an error response
-    is emitted.  An idle connection with no partial request never times
+    — whether terminated or a still-growing partial — is answered with
+    an error and discarded, without losing the complete lines received
+    alongside it.  [timeout] (seconds) bounds the wait for the rest of
+    a {e partially} received request line, measured from when the
+    partial {e started} (trickling more bytes does not extend it); on
+    expiry the partial input is dropped and an error response is
+    emitted.  An idle connection with no partial request never times
     out. *)
 
-val serve_socket : t -> ?timeout:float -> path:string -> unit -> unit
-(** Listen on a Unix-domain socket, serving one connection at a time
-    with {!serve} until {!request_stop}.  A stale socket file at [path]
-    is replaced; any other kind of file is an error.  The socket file
-    is removed on return.
-    @raise Unix.Unix_error / Failure on bind/listen problems. *)
+val client_roundtrip_addr :
+  addr:Unix.sockaddr -> string array -> (string array, string) result
+(** Connect to a server at [addr] (Unix-domain or TCP; TCP connections
+    set [TCP_NODELAY]), pipeline all request lines, and collect the
+    response lines (request order).  Interleaves writing and reading,
+    so arbitrarily large batches cannot deadlock on socket buffers. *)
 
 val client_roundtrip : path:string -> string array -> (string array, string) result
-(** Connect to a {!serve_socket} server, pipeline all request lines,
-    and collect the response lines (request order) — the client side
-    used by [redf batch --connect].  Interleaves writing and reading,
-    so arbitrarily large batches cannot deadlock on pipe buffers. *)
+(** {!client_roundtrip_addr} over [ADDR_UNIX path] — the client side
+    used by [redf batch --connect]. *)

@@ -1,0 +1,282 @@
+type limits = { max_pending : int; max_inflight : int; max_buffered_bytes : int }
+
+let default_limits = { max_pending = 1024; max_inflight = 4096; max_buffered_bytes = 8 * 1024 * 1024 }
+
+(* connection and shed counts depend on arrival timing *)
+let m_connections = Obs.Counter.make ~det:false "server.connections"
+let m_active = Obs.Gauge.make "server.active_connections"
+let m_shed = Obs.Counter.make ~det:false "server.shed"
+
+(* --- listeners --- *)
+
+type listener = { lfd : Unix.file_descr; tcp : bool; cleanup : unit -> unit }
+
+let remove_stale_socket path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> failwith (path ^ ": exists and is not a socket; refusing to replace it")
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let unix_listener ~path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec sock;
+  Unix.set_nonblock sock;
+  remove_stale_socket path;
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 64;
+  {
+    lfd = sock;
+    tcp = false;
+    cleanup =
+      (fun () ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        try Unix.unlink path with Unix.Unix_error _ -> ());
+  }
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ ->
+    if String.lowercase_ascii host = "localhost" then Unix.inet_addr_loopback
+    else failwith (host ^ ": expected a numeric IP address or \"localhost\"")
+
+let tcp_listener ~host ~port =
+  let inet = resolve_host host in
+  let domain = if Unix.is_inet6_addr inet then Unix.PF_INET6 else Unix.PF_INET in
+  let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec sock;
+  Unix.set_nonblock sock;
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (inet, port));
+  Unix.listen sock 64;
+  { lfd = sock; tcp = true; cleanup = (fun () -> try Unix.close sock with Unix.Unix_error _ -> ()) }
+
+let bound_port l =
+  match Unix.getsockname l.lfd with
+  | Unix.ADDR_INET (_, port) -> port
+  | _ -> invalid_arg "Loop.bound_port: not a TCP listener"
+
+(* --- connections --- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  framing : Framing.t;
+  steps : Engine.step Queue.t;  (* pending work, in arrival order *)
+  mutable queued : int;  (* Eval steps among [steps] (read-eligibility bound) *)
+  mutable pending : string;  (* response bytes being written *)
+  mutable pending_off : int;
+  out : Buffer.t;  (* response bytes queued behind [pending] *)
+  mutable input_closed : bool;  (* EOF seen, or draining: no more reads *)
+  mutable dead : bool;  (* fatal I/O error: close without flushing *)
+}
+
+let buffered_bytes c = String.length c.pending - c.pending_off + Buffer.length c.out
+let finished c = c.dead || (c.input_closed && Queue.is_empty c.steps && buffered_bytes c = 0)
+
+let flush c =
+  let rec go () =
+    if c.pending_off >= String.length c.pending then begin
+      if Buffer.length c.out > 0 then begin
+        c.pending <- Buffer.contents c.out;
+        c.pending_off <- 0;
+        Buffer.clear c.out;
+        go ()
+      end
+    end
+    else
+      match
+        Unix.write_substring c.fd c.pending c.pending_off (String.length c.pending - c.pending_off)
+      with
+      | n ->
+        c.pending_off <- c.pending_off + n;
+        go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (_, _, _) -> c.dead <- true
+  in
+  if not c.dead then go ()
+
+(* --- the loop --- *)
+
+let serve engine ?timeout ?(limits = default_limits) listeners =
+  let conns = ref [] in (* newest first; batch composition only, never per-conn bytes *)
+  let inflight = ref 0 in (* admitted Eval steps not yet answered, across conns *)
+  let chunk = Bytes.create 65536 in
+  let enqueue c items =
+    List.iter
+      (fun step ->
+        match step with
+        | Engine.Eval line when !inflight >= limits.max_inflight ->
+          Obs.Counter.incr m_shed;
+          Queue.add (Engine.Emit (Protocol.shed_response line)) c.steps
+        | Engine.Eval _ as step ->
+          incr inflight;
+          c.queued <- c.queued + 1;
+          Queue.add step c.steps
+        | Engine.Emit _ as step -> Queue.add step c.steps)
+      (Engine.plan items)
+  in
+  let accept_ready l =
+    let rec go () =
+      match Unix.accept ~cloexec:true l.lfd with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        if l.tcp then (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        Obs.Counter.incr m_connections;
+        conns :=
+          {
+            fd;
+            framing = Framing.create ?timeout ();
+            steps = Queue.create ();
+            queued = 0;
+            pending = "";
+            pending_off = 0;
+            out = Buffer.create 1024;
+            input_closed = false;
+            dead = false;
+          }
+          :: !conns;
+        Obs.Gauge.set m_active (List.length !conns);
+        go ()
+    in
+    go ()
+  in
+  let read_conn c =
+    match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> c.dead <- true
+    | 0 ->
+      c.input_closed <- true;
+      enqueue c (Framing.finish c.framing)
+    | n -> enqueue c (Framing.feed c.framing ~now:(Unix.gettimeofday ()) (Bytes.sub_string chunk 0 n))
+  in
+  (* evaluate this tick's ready steps of all connections as one pool
+     batch, stitching responses back per connection in arrival order *)
+  let evaluate () =
+    let popped =
+      List.filter_map
+        (fun c ->
+          if Queue.is_empty c.steps then None
+          else begin
+            let steps = ref [] in
+            let evals = ref 0 in
+            while (not (Queue.is_empty c.steps)) && !evals < limits.max_pending do
+              let s = Queue.pop c.steps in
+              (match s with Engine.Eval _ -> incr evals | Engine.Emit _ -> ());
+              steps := s :: !steps
+            done;
+            Some (c, List.rev !steps)
+          end)
+        (List.rev !conns)
+    in
+    let batch = ref [] in
+    List.iter
+      (fun (_, steps) ->
+        List.iter
+          (function Engine.Eval line -> batch := line :: !batch | Engine.Emit _ -> ())
+          steps)
+      popped;
+    let responses =
+      match Array.of_list (List.rev !batch) with
+      | [||] -> [||]
+      | batch -> Engine.handle_lines engine batch
+    in
+    let idx = ref 0 in
+    List.iter
+      (fun (c, steps) ->
+        List.iter
+          (fun s ->
+            let response =
+              match s with
+              | Engine.Eval _ ->
+                let r = responses.(!idx) in
+                incr idx;
+                decr inflight;
+                c.queued <- c.queued - 1;
+                r
+              | Engine.Emit r -> r
+            in
+            Buffer.add_string c.out response;
+            Buffer.add_char c.out '\n')
+          steps)
+      popped
+  in
+  let reap () =
+    let gone, live = List.partition finished !conns in
+    if gone <> [] then begin
+      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) gone;
+      conns := live;
+      Obs.Gauge.set m_active (List.length live)
+    end
+  in
+  let readable_conn c =
+    (not c.dead) && (not c.input_closed) && c.queued < limits.max_pending
+    && buffered_bytes c <= limits.max_buffered_bytes
+  in
+  let rec loop () =
+    if not (Engine.stop_requested engine) then begin
+      let now = Unix.gettimeofday () in
+      let tick =
+        if List.exists (fun c -> not (Queue.is_empty c.steps)) !conns then 0.0
+        else
+          List.fold_left
+            (fun acc c ->
+              match Framing.deadline c.framing with
+              | None -> acc
+              | Some d -> Float.min acc (Float.max 0.0 (d -. now)))
+            0.5 !conns
+      in
+      let listener_fds = List.map (fun l -> l.lfd) listeners in
+      let read_fds =
+        listener_fds @ List.filter_map (fun c -> if readable_conn c then Some c.fd else None) !conns
+      in
+      let write_fds =
+        List.filter_map (fun c -> if (not c.dead) && buffered_bytes c > 0 then Some c.fd else None) !conns
+      in
+      (match Unix.select read_fds write_fds [] tick with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | readable, writable, _ ->
+         List.iter (fun l -> if List.memq l.lfd readable then accept_ready l) listeners;
+         List.iter (fun c -> if List.memq c.fd readable then read_conn c) !conns;
+         let now = Unix.gettimeofday () in
+         List.iter
+           (fun c -> if not c.dead then enqueue c (Framing.check_deadline c.framing ~now))
+           !conns;
+         evaluate ();
+         List.iter
+           (fun c -> if List.memq c.fd writable || buffered_bytes c > 0 then flush c)
+           !conns;
+         reap ());
+      loop ()
+    end
+  in
+  let drain () =
+    (* answer everything already framed; partial lines are dropped *)
+    List.iter (fun c -> c.input_closed <- true) !conns;
+    while List.exists (fun c -> not (Queue.is_empty c.steps)) !conns do
+      evaluate ()
+    done;
+    let flush_by = Unix.gettimeofday () +. 5.0 in
+    let rec flush_all () =
+      List.iter flush !conns;
+      let blocked = List.filter (fun c -> (not c.dead) && buffered_bytes c > 0) !conns in
+      if blocked <> [] && Unix.gettimeofday () < flush_by then begin
+        (match Unix.select [] (List.map (fun c -> c.fd) blocked) [] 0.1 with
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         | _ -> ());
+        flush_all ()
+      end
+    in
+    flush_all ();
+    List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+    conns := [];
+    Obs.Gauge.set m_active 0
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      drain ();
+      List.iter (fun l -> l.cleanup ()) listeners)
+    loop

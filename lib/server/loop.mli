@@ -1,0 +1,74 @@
+(** The multi-client event loop behind [redf serve --socket/--listen]:
+    one [select]-driven thread multiplexing any number of concurrent
+    connections over any number of listeners (Unix-domain and TCP),
+    with the request evaluation itself fanned out over the engine's
+    worker pool.
+
+    Shape: each connection carries a {!Framing.t} (so the byte-cap /
+    timeout / order contracts are per connection), an ordered queue of
+    pending steps ({!Engine.step}), and an output buffer drained
+    through its non-blocking fd.  Each tick, the loop accepts, reads
+    whatever is available, frames it, and evaluates the ready request
+    lines of {e all} connections as one {!Engine.handle_lines} pool
+    batch, stitching the responses back per connection in arrival
+    order.
+
+    Determinism contract: per connection, the response stream is
+    byte-identical to what the serial stdio loop would produce for the
+    same request lines — batching across connections changes wall-clock
+    only, never bytes.  ([redf bench-serve] checks exactly this.)
+
+    Backpressure and load shedding:
+    - a connection whose pending-step queue reaches [max_pending], or
+      whose unsent output exceeds [max_buffered_bytes], stops being
+      read until it drains — per-client flow control that costs the
+      other clients nothing;
+    - once [max_inflight] request lines are admitted globally, further
+      lines are {e shed}: answered immediately (in order) with
+      {!Protocol.shed_response} instead of being queued.  Shedding
+      keeps the one-response-per-request contract — an overloaded
+      server degrades loudly, it does not stall or drop silently.
+
+    Graceful drain: after {!Engine.request_stop}, every request line
+    already received is answered and flushed (bounded by a few
+    seconds for unresponsive clients), partial lines are dropped, all
+    fds are closed and socket files removed. *)
+
+type limits = {
+  max_pending : int;
+      (** Per-connection bound on queued steps before the connection
+          stops being read (also the per-tick evaluation allowance per
+          connection).  Default 1024. *)
+  max_inflight : int;
+      (** Global bound on admitted-but-unanswered request lines; lines
+          beyond it are shed.  Default 4096. *)
+  max_buffered_bytes : int;
+      (** Per-connection bound on unsent response bytes before the
+          connection stops being read.  Default 8 MiB. *)
+}
+
+val default_limits : limits
+
+type listener
+
+val unix_listener : path:string -> listener
+(** Bind and listen on a Unix-domain socket.  A stale socket file at
+    [path] is replaced; any other kind of file is an error.  The socket
+    file is removed when {!serve} returns.
+    @raise Unix.Unix_error / Failure on bind/listen problems. *)
+
+val tcp_listener : host:string -> port:int -> listener
+(** Bind and listen on TCP [host:port].  [host] is a numeric IPv4/IPv6
+    address or ["localhost"]; [port = 0] picks an ephemeral port
+    (recover it with {!bound_port}).
+    @raise Unix.Unix_error / Failure on resolve/bind/listen problems. *)
+
+val bound_port : listener -> int
+(** The actually bound TCP port (useful after [port = 0]).
+    @raise Invalid_argument on a Unix-domain listener. *)
+
+val serve : Engine.t -> ?timeout:float -> ?limits:limits -> listener list -> unit
+(** Run the event loop over [listeners] until {!Engine.request_stop},
+    then drain and clean the listeners up (also on exception).
+    [timeout] is the per-connection partial-line deadline, as for
+    {!Engine.serve}. *)

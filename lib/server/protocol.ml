@@ -103,6 +103,17 @@ let response req verdict =
 
 let error_response ?id msg = envelope ?id "error" [ ("error", Json.String msg) ]
 
+let request_id line =
+  match Json.of_string line with
+  | Error _ -> None
+  | Ok json -> (
+    match Json.member "id" json with
+    | Some (Json.Int _ | Json.String _) as id -> id
+    | Some _ | None -> None)
+
+let shed_message = "server overloaded: request shed"
+let shed_response line = error_response ?id:(request_id line) shed_message
+
 let request_line ~analyzer ~fpga_area ?id ts =
   Json.to_string
     (Json.Obj

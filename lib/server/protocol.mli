@@ -43,6 +43,18 @@ val response : request -> Core.Verdict.t -> string
 val error_response : ?id:Core.Json.t -> string -> string
 (** The error response line (no trailing newline). *)
 
+val request_id : string -> Core.Json.t option
+(** Best-effort [id] recovery from a raw request line (well-formed JSON
+    object with an [Int]/[String] [id]) — lets a response be correlated
+    without fully parsing the request. *)
+
+val shed_response : string -> string
+(** The load-shedding error line for a request the server refused to
+    admit ([error = "server overloaded: request shed"]), with the
+    request's [id] echoed when recoverable.  Shedding answers instead
+    of silently dropping: a pipelining client still gets one response
+    line per request line, in order. *)
+
 val request_line : analyzer:string -> fpga_area:int -> ?id:Core.Json.t -> Model.Taskset.t -> string
 (** Serialize a request (no trailing newline) — the inverse of
     {!parse}; used by [redf batch]'s client mode and the tests. *)

@@ -1,0 +1,87 @@
+Request-framing and multi-client regressions for the analysis service.
+
+  $ cat > requests.jsonl <<'EOF'
+  > {"id":1,"analyzer":"GN2","fpga_area":10,"tasks":[{"name":"tau1","C":"1.26","D":7,"T":7,"A":9},{"name":"tau2","C":"0.95","D":5,"T":5,"A":6}]}
+  > {"id":2,"analyzer":"DP","fpga_area":10,"tasks":[{"C":"0.95","D":5,"T":5,"A":6},{"C":"1.26","D":7,"T":7,"A":9}]}
+  > EOF
+
+A request line over the 16 MiB cap is answered with an error — whether
+it arrives fully terminated or as a growing partial — and the
+well-formed requests around it are still answered (historically the
+complete lines sharing a read chunk with an oversized partial were
+silently dropped):
+
+  $ head -c 17000000 /dev/zero | tr '\0' 'x' > big-line.txt
+
+  $ { cat big-line.txt; echo; cat requests.jsonl; } | redf serve > capped.jsonl; echo "exit $?"
+  exit 0
+  $ grep -c '' capped.jsonl
+  3
+  $ sed -n 1p capped.jsonl
+  {"error":"request too large: line exceeds 16 MiB","kind":"error","schema_version":1}
+  $ sed -n 2p capped.jsonl | grep -c '"id":1'
+  1
+
+  $ { cat requests.jsonl; cat big-line.txt; } | redf serve > tail-capped.jsonl; echo "exit $?"
+  exit 0
+  $ grep -c '' tail-capped.jsonl
+  3
+  $ sed -n 1p tail-capped.jsonl | grep -c '"id":1'
+  1
+  $ sed -n 3p tail-capped.jsonl
+  {"error":"request too large: line exceeds 16 MiB","kind":"error","schema_version":1}
+
+The partial-line timeout is measured from when the partial started, so
+a client trickling bytes (each gap below --timeout) still gets cut off
+(historically every received byte re-armed the deadline, and the
+abandoned partial was finally parsed as a malformed request at EOF):
+
+  $ { printf '{"trick'; sleep 0.3; printf 'le'; sleep 0.3; printf 'd'; sleep 0.3; } \
+  >   | redf serve --timeout 0.5 > trickled.jsonl; echo "exit $?"
+  exit 0
+  $ cat trickled.jsonl
+  {"error":"request timeout: incomplete request line dropped","kind":"error","schema_version":1}
+
+The socket server multiplexes concurrent clients: two batches
+pipelined at the same time each get their own responses, in their own
+order, byte-identical to in-process evaluation:
+
+  $ tac requests.jsonl > reversed.jsonl
+  $ redf serve --socket srv.sock & srv_pid=$!
+  $ for i in $(seq 100); do [ -S srv.sock ] && break; sleep 0.1; done
+  $ redf batch requests.jsonl --connect srv.sock > a-out.jsonl & a_pid=$!
+  $ redf batch reversed.jsonl --connect srv.sock > b-out.jsonl
+  $ wait $a_pid
+  $ redf batch requests.jsonl | cmp - a-out.jsonl && echo a-identical
+  a-identical
+  $ redf batch reversed.jsonl | cmp - b-out.jsonl && echo b-identical
+  b-identical
+  $ kill -TERM $srv_pid; wait $srv_pid; echo "server exit $?"
+  server exit 0
+
+With a global in-flight budget of 1, a pipelined burst admits the
+first request and sheds the rest — answered in order with a
+well-formed error that echoes each request's id, never dropped:
+
+  $ cat requests.jsonl requests.jsonl > burst.jsonl
+  $ redf serve --socket shed.sock --max-inflight 1 -j 1 & shed_pid=$!
+  $ for i in $(seq 100); do [ -S shed.sock ] && break; sleep 0.1; done
+  $ redf batch burst.jsonl --connect shed.sock > shed-out.jsonl
+  $ kill -TERM $shed_pid; wait $shed_pid; echo "server exit $?"
+  server exit 0
+  $ grep -c '' shed-out.jsonl
+  4
+  $ sed -n 1p shed-out.jsonl | grep -c '"kind":"verdict"'
+  1
+  $ grep -c 'server overloaded: request shed' shed-out.jsonl
+  3
+  $ sed -n 2p shed-out.jsonl
+  {"error":"server overloaded: request shed","id":2,"kind":"error","schema_version":1}
+
+bench-serve drives a concurrent serve loop and checks, per client,
+that concurrent serving returns the bytes serial serving returns:
+
+  $ redf bench-serve --clients 4 --requests 20 -j 2 --out bench.json > /dev/null; echo "exit $?"
+  exit 0
+  $ grep -c '"determinism":"ok"' bench.json
+  1

@@ -91,6 +91,53 @@ let lru_disabled () =
     (Invalid_argument "Lru.create: negative capacity") (fun () ->
       ignore (Cache.Lru.create ~metrics_prefix:"t.lru5" ~capacity:(-1) ()))
 
+(* --- sharded LRU --- *)
+
+let sharded_basics () =
+  let c = Cache.Sharded.create ~metrics_prefix:"t.sh1" ~shards:4 ~capacity:16 () in
+  check_int "shard count" 4 (Cache.Sharded.shards c);
+  check_int "rounded-up capacity" 16 (Cache.Sharded.capacity c);
+  let keys = List.init 12 (Printf.sprintf "key-%d") in
+  List.iteri (fun i k -> Cache.Sharded.put c k i) keys;
+  check_int "all stored" 12 (Cache.Sharded.length c);
+  List.iteri
+    (fun i k -> check_bool (Printf.sprintf "find %s" k) true (Cache.Sharded.find c k = Some i))
+    keys;
+  Cache.Sharded.put c "key-0" 100;
+  check_int "overwrite does not grow" 12 (Cache.Sharded.length c);
+  check_bool "overwritten" true (Cache.Sharded.find c "key-0" = Some 100)
+
+let sharded_stats_summed () =
+  let c = Cache.Sharded.create ~metrics_prefix:"t.sh2" ~shards:4 ~capacity:16 () in
+  let keys = List.init 8 (Printf.sprintf "k%d") in
+  (* 8 misses, then 8 hits, spread over the shards; the summed stats
+     must account for every one exactly *)
+  List.iter (fun k -> check_bool "miss" true (Cache.Sharded.find c k = None)) keys;
+  List.iter (fun k -> Cache.Sharded.put c k 0) keys;
+  List.iter (fun k -> check_bool "hit" true (Cache.Sharded.find c k = Some 0)) keys;
+  let s = Cache.Sharded.stats c in
+  check_int "misses summed" 8 s.Cache.Lru.misses;
+  check_int "hits summed" 8 s.Cache.Lru.hits;
+  check_int "no evictions" 0 s.Cache.Lru.evictions
+
+let sharded_key_placement () =
+  let c = Cache.Sharded.create ~metrics_prefix:"t.sh3" ~shards:8 ~capacity:8 () in
+  List.iter
+    (fun k ->
+      let s = Cache.Sharded.shard_of_key c k in
+      check_bool "in range" true (s >= 0 && s < 8);
+      check_int "deterministic" s (Cache.Sharded.shard_of_key c k))
+    [ ""; "a"; "key"; String.make 512 'z' ]
+
+let sharded_degenerate () =
+  let c = Cache.Sharded.create ~metrics_prefix:"t.sh4" ~shards:3 ~capacity:0 () in
+  Cache.Sharded.put c "a" 1;
+  check_int "capacity 0 disables" 0 (Cache.Sharded.length c);
+  check_bool "every find misses" true (Cache.Sharded.find c "a" = None);
+  Alcotest.check_raises "shards must be positive"
+    (Invalid_argument "Sharded.create: shards must be >= 1") (fun () ->
+      ignore (Cache.Sharded.create ~metrics_prefix:"t.sh5" ~shards:0 ~capacity:8 ()))
+
 (* --- cached verdicts vs fresh ones --- *)
 
 let cached_equals_fresh () =
@@ -165,6 +212,29 @@ let parallel_workers_share_cache () =
   let serial = run 1 and parallel = run 4 in
   Array.iteri (fun i s -> check_str (Printf.sprintf "request %d" i) s parallel.(i)) serial
 
+let sharded_verdicts_equal_unsharded () =
+  (* sharding the verdict store changes lock granularity only: for the
+     same request sequence, a 4-shard cache returns the bytes the
+     1-shard cache (and a fresh computation) returns *)
+  let requests = [ table1; table1_swapped; table1; table1_swapped ] in
+  let run shards =
+    let cache =
+      Cache.Verdicts.create ~metrics_prefix:(Printf.sprintf "t.v4s%d" shards) ~shards ~capacity:16 ()
+    in
+    List.map
+      (fun ts ->
+        verdict_str (Cache.Verdicts.decide cache ~analyzer:Core.Analyzer.gn2 ~fpga_area:10 ts))
+      requests
+  in
+  check_int "default is one shard"
+    1
+    (Cache.Verdicts.shards (Cache.Verdicts.create ~metrics_prefix:"t.v5" ~capacity:4 ()));
+  check_str_list "same bytes" (run 1) (run 4);
+  List.iter2
+    (fun cached ts ->
+      check_str "equals fresh" (verdict_str (Core.Analyzer.gn2.Core.Analyzer.decide ~fpga_area:10 ts)) cached)
+    (run 4) requests
+
 let () =
   Alcotest.run "cache"
     [
@@ -182,10 +252,18 @@ let () =
           Alcotest.test_case "overwrite" `Quick lru_overwrite;
           Alcotest.test_case "capacity 0 disables" `Quick lru_disabled;
         ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "basics" `Quick sharded_basics;
+          Alcotest.test_case "stats summed" `Quick sharded_stats_summed;
+          Alcotest.test_case "key placement" `Quick sharded_key_placement;
+          Alcotest.test_case "degenerate" `Quick sharded_degenerate;
+        ] );
       ( "verdicts",
         [
           Alcotest.test_case "cached equals fresh" `Quick cached_equals_fresh;
           remap_property;
           Alcotest.test_case "parallel workers share cache" `Quick parallel_workers_share_cache;
+          Alcotest.test_case "sharded equals unsharded" `Quick sharded_verdicts_equal_unsharded;
         ] );
     ]

@@ -1,7 +1,10 @@
 (* Tests for the analysis service: wire-format parsing, request
    isolation (a bad line yields an error response, never an
    exception), ordered and worker-count-independent batch evaluation,
-   and a full client/server roundtrip over a Unix-domain socket. *)
+   the framing state machine (line cap, partial-line deadline, and the
+   rule that framing errors never swallow neighbouring requests), and
+   full client/server roundtrips over Unix-domain and TCP sockets
+   through the multi-client event loop. *)
 
 open Core_helpers
 
@@ -55,6 +58,87 @@ let parse_errors () =
   fails "float time" {|{"analyzer":"DP","fpga_area":10,"tasks":[{"C":1.5,"D":2,"T":2,"A":1}]}|}
     "malformed JSON"
 
+let shed_response () =
+  let line = request ~id:(Core.Json.String "c1-r2") table1 in
+  let resp = Server.Protocol.shed_response line in
+  (match Core.Json.of_string resp with
+   | Ok json ->
+     check_bool "kind is error" true (Core.Json.member "kind" json = Some (Core.Json.String "error"));
+     check_bool "id echoed" true
+       (Core.Json.member "id" json = Some (Core.Json.String "c1-r2"));
+     check_bool "message" true
+       (Core.Json.member "error" json
+       = Some (Core.Json.String "server overloaded: request shed"))
+   | Error msg -> Alcotest.failf "shed response is not JSON: %s" msg);
+  check_bool "unrecoverable id" true
+    (Server.Protocol.request_id "not json {" = None)
+
+(* --- framing --- *)
+
+(* all clock inputs are explicit, so these run with a fake clock *)
+let items = Alcotest.(check (list string)) "items"
+
+let show = function
+  | Server.Framing.Line l -> Printf.sprintf "line:%s" (if String.length l > 12 then "big" else l)
+  | Server.Framing.Too_large _ -> "too_large"
+  | Server.Framing.Timed_out -> "timed_out"
+
+let feed f ~now s = List.map show (Server.Framing.feed f ~now s)
+
+let framing_order_before_overflow () =
+  (* complete lines extracted from a chunk are answered even when the
+     same chunk ends in an oversized partial (the drop_partial bug) *)
+  let f = Server.Framing.create ~max_line_bytes:8 () in
+  items [ "line:a"; "line:b"; "too_large" ] (feed f ~now:0.0 "a\nb\nxxxxxxxxxx");
+  (* the dropped line's remaining bytes are swallowed through its
+     terminating newline; the stream then resumes *)
+  items [] (feed f ~now:0.0 "yyy");
+  items [ "line:c" ] (feed f ~now:0.0 "yyy\nc\n")
+
+let framing_cap_on_complete_lines () =
+  (* an over-cap line arriving fully terminated in one chunk must not
+     bypass the cap *)
+  let f = Server.Framing.create ~max_line_bytes:8 () in
+  items [ "too_large"; "line:ok" ] (feed f ~now:0.0 "xxxxxxxxxx\nok\n")
+
+let framing_overflow_across_feeds () =
+  let f = Server.Framing.create ~max_line_bytes:8 () in
+  items [] (feed f ~now:0.0 "xxxxx");
+  items [ "too_large" ] (feed f ~now:0.0 "xxxxx");
+  items [] (feed f ~now:0.0 "xxxxx");
+  items [ "line:ok" ] (feed f ~now:0.0 "x\nok\n")
+
+let deadline () = Alcotest.(check (option (float 1e-9))) "deadline"
+
+let framing_deadline_armed_once () =
+  (* the deadline is armed when the partial starts; trickling more
+     bytes never extends it (the re-arm bug) *)
+  let f = Server.Framing.create ~timeout:5.0 () in
+  items [] (feed f ~now:100.0 "{\"par");
+  deadline () (Some 105.0) (Server.Framing.deadline f);
+  items [] (feed f ~now:104.0 "tial");
+  deadline () (Some 105.0) (Server.Framing.deadline f);
+  items [] (List.map show (Server.Framing.check_deadline f ~now:104.9));
+  items [ "timed_out" ] (List.map show (Server.Framing.check_deadline f ~now:105.0));
+  (* the timed-out line's tail is discarded through its newline *)
+  items [] (feed f ~now:105.1 "tail}");
+  items [ "line:next" ] (feed f ~now:105.2 "tail}\nnext\n")
+
+let framing_deadline_rearms_per_line () =
+  let f = Server.Framing.create ~timeout:5.0 () in
+  items [ "line:a" ] (feed f ~now:10.0 "a\nst");
+  deadline () (Some 15.0) (Server.Framing.deadline f);
+  items [ "line:start" ] (feed f ~now:12.0 "art\n");
+  deadline () None (Server.Framing.deadline f);
+  items [] (feed f ~now:20.0 "again");
+  deadline () (Some 25.0) (Server.Framing.deadline f)
+
+let framing_finish () =
+  let f = Server.Framing.create ~max_line_bytes:8 () in
+  items [] (feed f ~now:0.0 "last");
+  items [ "line:last" ] (List.map show (Server.Framing.finish f));
+  items [] (List.map show (Server.Framing.finish f))
+
 (* --- engine --- *)
 
 let with_engine f = Server.Engine.with_engine ~cache_size:64 ~jobs:1 f
@@ -63,6 +147,12 @@ let response_kind line =
   match Core.Json.of_string line with
   | Ok json -> (
     match Core.Json.member "kind" json with Some (Core.Json.String k) -> k | _ -> "?")
+  | Error _ -> "?"
+
+let response_error line =
+  match Core.Json.of_string line with
+  | Ok json -> (
+    match Core.Json.member "error" json with Some (Core.Json.String e) -> e | _ -> "?")
   | Error _ -> "?"
 
 let isolation () =
@@ -114,34 +204,126 @@ let cached_batch_identical () =
       check_int "one miss" 1 s.Cache.Lru.misses;
       check_int "the rest hit" 39 s.Cache.Lru.hits)
 
-(* --- socket roundtrip --- *)
+(* --- serve over pipes (the framing regressions, end to end) --- *)
 
-let socket_roundtrip () =
-  let path = Filename.concat (Filename.get_temp_dir_name ()) "redf-test-server.sock" in
+let write_all fd s =
+  let off = ref 0 in
+  while !off < String.length s do
+    match Unix.write_substring fd s !off (String.length s - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let read_all fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* run [Engine.serve] over pipes, feed it with [script] (which may
+   sleep between writes), and return the response lines *)
+let serve_script ?timeout script =
+  with_engine (fun engine ->
+      let r_in, w_in = Unix.pipe ~cloexec:true () in
+      let r_out, w_out = Unix.pipe ~cloexec:true () in
+      let server =
+        Domain.spawn (fun () ->
+            Server.Engine.serve engine ?timeout ~input:r_in ~output:w_out ())
+      in
+      script (write_all w_in);
+      Unix.close w_in;
+      Domain.join server;
+      Unix.close w_out;
+      Unix.close r_in;
+      let responses =
+        String.split_on_char '\n' (read_all r_out) |> List.filter (fun l -> String.trim l <> "")
+      in
+      Unix.close r_out;
+      responses)
+
+let big = String.make (Server.Framing.default_max_line_bytes + 64) 'x'
+
+let serve_answers_lines_before_oversized_partial () =
+  (* regression: a chunk carrying complete requests and the head of an
+     oversized partial must answer the requests, then the error *)
+  let responses =
+    serve_script (fun write -> write (request ~id:(Core.Json.Int 1) table1 ^ "\n" ^ big))
+  in
+  check_int "two responses" 2 (List.length responses);
+  check_str "request answered" "verdict" (response_kind (List.nth responses 0));
+  check_str "then the cap error" Server.Engine.too_large_message
+    (response_error (List.nth responses 1))
+
+let serve_caps_terminated_lines () =
+  (* regression: a terminated over-cap line must get the cap error,
+     not be parsed (the old loop only capped unterminated partials) *)
+  let responses =
+    serve_script (fun write ->
+        write (big ^ "\n");
+        write (request ~id:(Core.Json.Int 2) table1 ^ "\n"))
+  in
+  check_int "two responses" 2 (List.length responses);
+  check_str "cap error" Server.Engine.too_large_message (response_error (List.nth responses 0));
+  check_str "stream resumes" "verdict" (response_kind (List.nth responses 1))
+
+let serve_timeout_resists_trickling () =
+  (* regression: the partial-line deadline is measured from when the
+     partial started; a client trickling bytes cannot keep re-arming
+     it (the old loop reset the deadline on every read) *)
+  let responses =
+    serve_script ~timeout:0.2 (fun write ->
+        write "{\"trick";
+        Unix.sleepf 0.09;
+        write "le";
+        Unix.sleepf 0.09;
+        write "d";
+        (* past the deadline of the partial's start, though every
+           inter-write gap was below the timeout *)
+        Unix.sleepf 0.15)
+  in
+  check_int "exactly one response" 1 (List.length responses);
+  check_str "the timeout error" Server.Engine.timeout_message
+    (response_error (List.nth responses 0))
+
+(* --- the multi-client event loop --- *)
+
+let temp_socket name =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) name in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
-  let engine = Server.Engine.create ~cache_size:64 ~jobs:1 () in
-  let server = Domain.spawn (fun () -> Server.Engine.serve_socket engine ~path ()) in
+  path
+
+(* listeners are bound in the test domain before the loop domain
+   spawns, so clients can connect without retrying *)
+let with_loop ?limits ~jobs listeners f =
+  let engine = Server.Engine.create ~cache_size:256 ~jobs () in
+  let server = Domain.spawn (fun () -> Server.Loop.serve engine ?limits listeners) in
   Fun.protect
     ~finally:(fun () ->
       Server.Engine.request_stop engine;
       Domain.join server;
       Server.Engine.shutdown engine)
-    (fun () ->
-      (* the server binds asynchronously; retry the connect briefly *)
-      let rec roundtrip attempts lines =
-        match Server.Engine.client_roundtrip ~path lines with
-        | Ok responses -> responses
-        | Error msg ->
-          if attempts = 0 then Alcotest.failf "client_roundtrip: %s" msg
-          else begin
-            Unix.sleepf 0.05;
-            roundtrip (attempts - 1) lines
-          end
-      in
+    (fun () -> f engine)
+
+let roundtrip ~addr lines =
+  match Server.Engine.client_roundtrip_addr ~addr lines with
+  | Ok responses -> responses
+  | Error msg -> Alcotest.failf "client_roundtrip_addr: %s" msg
+
+let socket_roundtrip () =
+  let path = temp_socket "redf-test-server.sock" in
+  with_loop ~jobs:1 [ Server.Loop.unix_listener ~path ] (fun engine ->
       let lines =
         [| request ~id:(Core.Json.Int 1) table1; "malformed"; request ~id:(Core.Json.Int 2) table1 |]
       in
-      let responses = roundtrip 100 lines in
+      let responses = roundtrip ~addr:(Unix.ADDR_UNIX path) lines in
       check_int "three responses" 3 (Array.length responses);
       check_str "first is a verdict" "verdict" (response_kind responses.(0));
       check_str "second is an error" "error" (response_kind responses.(1));
@@ -149,7 +331,80 @@ let socket_roundtrip () =
       (* in-process evaluation and the socket path agree byte for byte *)
       check_str "socket equals in-process"
         (Server.Engine.handle_line engine lines.(0))
-        responses.(0))
+        responses.(0));
+  check_bool "socket file removed" false (Sys.file_exists path)
+
+let tcp_roundtrip () =
+  let listener = Server.Loop.tcp_listener ~host:"127.0.0.1" ~port:0 in
+  let port = Server.Loop.bound_port listener in
+  check_bool "ephemeral port" true (port > 0);
+  with_loop ~jobs:1 [ listener ] (fun engine ->
+      let addr = Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port) in
+      let lines = [| request ~id:(Core.Json.Int 1) table1; "malformed" |] in
+      let responses = roundtrip ~addr lines in
+      check_int "two responses" 2 (Array.length responses);
+      check_str "tcp equals in-process"
+        (Server.Engine.handle_line engine lines.(0))
+        responses.(0);
+      check_str "error isolated" "error" (response_kind responses.(1)))
+
+let concurrent_clients_isolated () =
+  (* N concurrent clients, each with its own request stream: every
+     client gets its own answers, in its own order, byte-identical to
+     a serial in-process evaluation of its lines *)
+  let path = temp_socket "redf-test-loop.sock" in
+  let clients = 4 and per_client = 25 in
+  let lines_of c =
+    Array.init per_client (fun i ->
+        let analyzer = List.nth [ "DP"; "GN1"; "GN2" ] ((c + i) mod 3) in
+        if i mod 9 = 5 then Printf.sprintf "bad line c%d-%d" c i
+        else request ~analyzer ~id:(Core.Json.String (Printf.sprintf "c%d-r%d" c i)) table1)
+  in
+  let got =
+    with_loop ~jobs:2 [ Server.Loop.unix_listener ~path ] (fun _ ->
+        let domains =
+          Array.init clients (fun c ->
+              Domain.spawn (fun () -> roundtrip ~addr:(Unix.ADDR_UNIX path) (lines_of c)))
+        in
+        Array.map Domain.join domains)
+  in
+  (* the serial reference: same lines, fresh single-worker engine *)
+  Server.Engine.with_engine ~cache_size:256 ~shards:1 ~jobs:1 (fun reference ->
+      Array.iteri
+        (fun c responses ->
+          let expected = Server.Engine.handle_lines reference (lines_of c) in
+          check_int (Printf.sprintf "client %d: one response per request" c)
+            per_client (Array.length responses);
+          Array.iteri
+            (fun i expected ->
+              check_str (Printf.sprintf "client %d response %d" c i) expected responses.(i))
+            expected)
+        got)
+
+let load_shedding () =
+  (* with a global in-flight budget of 1, a burst of pipelined requests
+     (one write, so one server read) admits the first and sheds the
+     rest — answered in order, as well-formed JSON, ids echoed *)
+  let path = temp_socket "redf-test-shed.sock" in
+  let limits = { Server.Loop.default_limits with Server.Loop.max_inflight = 1 } in
+  let lines =
+    Array.init 4 (fun i -> request ~id:(Core.Json.String (Printf.sprintf "r%d" i)) table1)
+  in
+  with_loop ~limits ~jobs:1 [ Server.Loop.unix_listener ~path ] (fun engine ->
+      let responses = roundtrip ~addr:(Unix.ADDR_UNIX path) lines in
+      check_int "one response per request" 4 (Array.length responses);
+      check_str "first admitted" (Server.Engine.handle_line engine lines.(0)) responses.(0);
+      Array.iteri
+        (fun i resp ->
+          if i > 0 then begin
+            check_str (Printf.sprintf "response %d shed" i) "server overloaded: request shed"
+              (response_error resp);
+            check_bool
+              (Printf.sprintf "response %d echoes its id" i)
+              true
+              (contains ~needle:(Printf.sprintf "\"id\":\"r%d\"" i) resp)
+          end)
+        responses)
 
 let () =
   Alcotest.run "server"
@@ -158,6 +413,16 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick parse_roundtrip;
           Alcotest.test_case "parse errors" `Quick parse_errors;
+          Alcotest.test_case "shed response" `Quick shed_response;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "order before overflow" `Quick framing_order_before_overflow;
+          Alcotest.test_case "cap on complete lines" `Quick framing_cap_on_complete_lines;
+          Alcotest.test_case "overflow across feeds" `Quick framing_overflow_across_feeds;
+          Alcotest.test_case "deadline armed once" `Quick framing_deadline_armed_once;
+          Alcotest.test_case "deadline re-arms per line" `Quick framing_deadline_rearms_per_line;
+          Alcotest.test_case "finish" `Quick framing_finish;
         ] );
       ( "engine",
         [
@@ -165,5 +430,18 @@ let () =
           Alcotest.test_case "batch order and determinism" `Quick batch_order_and_determinism;
           Alcotest.test_case "cached batch identical" `Quick cached_batch_identical;
         ] );
-      ("socket", [ Alcotest.test_case "roundtrip" `Quick socket_roundtrip ]);
+      ( "serve",
+        [
+          Alcotest.test_case "answers lines before oversized partial" `Quick
+            serve_answers_lines_before_oversized_partial;
+          Alcotest.test_case "caps terminated lines" `Quick serve_caps_terminated_lines;
+          Alcotest.test_case "timeout resists trickling" `Quick serve_timeout_resists_trickling;
+        ] );
+      ( "loop",
+        [
+          Alcotest.test_case "socket roundtrip" `Quick socket_roundtrip;
+          Alcotest.test_case "tcp roundtrip" `Quick tcp_roundtrip;
+          Alcotest.test_case "concurrent clients isolated" `Quick concurrent_clients_isolated;
+          Alcotest.test_case "load shedding" `Quick load_shedding;
+        ] );
     ]
