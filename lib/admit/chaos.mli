@@ -1,0 +1,44 @@
+(** Crash/restart torture for the admission daemon ([redf chaos-admit]).
+
+    A run is [cycles] daemon lifetimes over one state directory: random
+    admit traffic with journal fault injection armed, an injected crash
+    ({!Faults.Crash}) or op-budget exhaustion, then recovery — after
+    which the recovered state must equal a reference model maintained
+    from acknowledged replies (plus, for an after-append crash, exactly
+    the one durable-but-unacknowledged record, whose stored reply a
+    duplicate-id retry must return).  Every verdict on the wire is also
+    compared field-for-field with a from-scratch [analyzer.decide] run.
+
+    Fully deterministic from [config.seed]: a failing run replays. *)
+
+type config = {
+  seed : int;
+  cycles : int;  (** daemon lifetimes (= restarts/recoveries) *)
+  ops_per_cycle : int;  (** op budget per lifetime if no crash fires *)
+  spec : Faults.spec;
+  analyzer : Core.Analyzer.t;
+  fpga_area : int;
+  snapshot_every : int;  (** small, so rotation happens under fire *)
+}
+
+type stats = {
+  cycles : int;
+  crashes : int;
+  torn_recoveries : int;
+  replayed : int;
+  ops : int;
+  admitted : int;
+  rejected : int;
+  dedup_hits : int;
+  verdicts_checked : int;
+}
+
+val default_spec : Faults.spec
+val default : analyzer:Core.Analyzer.t -> fpga_area:int -> config
+
+val run : ?progress:(int -> unit) -> dir:string -> config -> (stats, string) result
+(** [Error] is an invariant violation (with enough detail to replay);
+    [progress] is called with the 1-based cycle number as each lifetime
+    starts. *)
+
+val pp_stats : Format.formatter -> stats -> unit

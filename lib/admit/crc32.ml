@@ -1,0 +1,31 @@
+[@@@redf.det]
+
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
+   guarding every journal record and snapshot.  Table-driven, one byte
+   per step; the table is a pure function of the polynomial, computed
+   once at module init.  Values are stored in an int (OCaml ints are
+   63-bit on every platform we build for), masked to 32 bits. *)
+
+let poly = 0xEDB88320
+let mask = 0xFFFFFFFF
+
+let table =
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then poly lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c land mask)
+[@@redf.allow "domain-safety"
+                "written once at module init from a pure function of the polynomial, read-only \
+                 afterwards"]
+
+let update crc s off len =
+  if off < 0 || len < 0 || off + len > String.length s then invalid_arg "Crc32.update";
+  let c = ref (crc lxor mask) in
+  for i = off to off + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor mask land mask
+
+let string s = update 0 s 0 (String.length s)

@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3) over strings — the integrity check of every
+    journal record and snapshot.  Pure and deterministic; results are
+    32-bit values carried in an [int]. *)
+
+val string : string -> int
+(** CRC-32 of the whole string. *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s off len] extends [crc] with [s.[off .. off+len-1]],
+    so a checksum can be built over several slices.  [string s] is
+    [update 0 s 0 (String.length s)].
+    @raise Invalid_argument on an out-of-bounds slice. *)

@@ -26,19 +26,20 @@ let apply order ts =
     (Array.to_list
        (Array.map (fun i -> { (Model.Taskset.nth ts i) with Model.Task.name = "" }) order))
 
+(* the per-task and per-device key pieces are shared with {!Delta},
+   which rebuilds keys incrementally: both must produce the same bytes *)
+let fragment (task : Model.Task.t) =
+  let t = Model.Time.ticks in
+  Printf.sprintf "%d,%d,%d,%d;" (t task.Model.Task.exec) (t task.Model.Task.deadline)
+    (t task.Model.Task.period) task.Model.Task.area
+
+let key_prefix ~analyzer ~fpga_area =
+  Printf.sprintf "%s\x00%s\x00%d\x00" analyzer.Core.Analyzer.name analyzer.Core.Analyzer.version
+    fpga_area
+
 let key ~analyzer ~fpga_area ts =
   let buf = Buffer.create 128 in
-  Buffer.add_string buf analyzer.Core.Analyzer.name;
-  Buffer.add_char buf '\x00';
-  Buffer.add_string buf analyzer.Core.Analyzer.version;
-  Buffer.add_string buf (Printf.sprintf "\x00%d\x00" fpga_area);
+  Buffer.add_string buf (key_prefix ~analyzer ~fpga_area);
   let tasks = Model.Taskset.to_array ts in
-  Array.iter
-    (fun i ->
-      let task = tasks.(i) in
-      let t = Model.Time.ticks in
-      Buffer.add_string buf
-        (Printf.sprintf "%d,%d,%d,%d;" (t task.Model.Task.exec) (t task.Model.Task.deadline)
-           (t task.Model.Task.period) task.Model.Task.area))
-    (order ts);
+  Array.iter (fun i -> Buffer.add_string buf (fragment tasks.(i))) (order ts);
   Buffer.contents buf

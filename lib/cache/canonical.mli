@@ -26,3 +26,15 @@ val apply : int array -> Model.Taskset.t -> Model.Taskset.t
 
 val key : analyzer:Core.Analyzer.t -> fpga_area:int -> Model.Taskset.t -> string
 (** The canonical cache key for [(A(H), tasks, analyzer, version)]. *)
+
+val compare_tasks : Model.Task.t -> Model.Task.t -> int
+(** The canonical task ordering: lexicographic on tick-exact
+    [(C, D, T, A)].  Names are ignored (the tests never read them). *)
+
+val fragment : Model.Task.t -> string
+(** One task's slice of a canonical key.  {!key} is exactly
+    {!key_prefix} followed by the fragments of the tasks in canonical
+    order — {!Delta} relies on this to rebuild keys incrementally. *)
+
+val key_prefix : analyzer:Core.Analyzer.t -> fpga_area:int -> string
+(** The device/analyzer-binding head of every canonical key. *)

@@ -16,18 +16,26 @@ let remap order (v : Core.Verdict.t) =
   in
   Core.Verdict.make ~test_name:v.Core.Verdict.test_name ~checks
 
-let decide t ~analyzer ~fpga_area ts =
-  let key = Canonical.key ~analyzer ~fpga_area ts in
-  let order = Canonical.order ts in
+(* shared tail of both entry points: the canonical verdict for [key],
+   decided on the already-canonical [canonical] taskset on a miss *)
+let decide_keyed t ~analyzer ~fpga_area ~key ~canonical ~order =
   let canonical_verdict =
     match Sharded.find t.lru key with
     | Some v -> v
     | None ->
-      let v = analyzer.Core.Analyzer.decide ~fpga_area (Canonical.apply order ts) in
+      let v = analyzer.Core.Analyzer.decide ~fpga_area (Lazy.force canonical) in
       Sharded.put t.lru key v;
       v
   in
   remap order canonical_verdict
+
+let decide t ~analyzer ~fpga_area ts =
+  let key = Canonical.key ~analyzer ~fpga_area ts in
+  let order = Canonical.order ts in
+  decide_keyed t ~analyzer ~fpga_area ~key ~canonical:(lazy (Canonical.apply order ts)) ~order
+
+let decide_canonical t ~analyzer ~fpga_area ~key ~canonical ~order =
+  decide_keyed t ~analyzer ~fpga_area ~key ~canonical:(lazy canonical) ~order
 
 let stats t = Sharded.stats t.lru
 let length t = Sharded.length t.lru

@@ -28,6 +28,21 @@ val decide : t -> analyzer:Core.Analyzer.t -> fpga_area:int -> Model.Taskset.t -
     equivalent request (any task order / names) was already answered
     for this analyzer name+version and device area. *)
 
+val decide_canonical :
+  t ->
+  analyzer:Core.Analyzer.t ->
+  fpga_area:int ->
+  key:string ->
+  canonical:Model.Taskset.t ->
+  order:int array ->
+  Core.Verdict.t
+(** {!decide} for callers that already hold the canonical form — e.g.
+    the admission daemon, whose {!Delta} maintains [key], [canonical]
+    and [order] incrementally across mutations.  The caller promises
+    the three are consistent ({!Canonical.key} / {!Canonical.apply} /
+    {!Canonical.order} of some original taskset); given that, the
+    result is byte-identical to [decide] on that original. *)
+
 val stats : t -> Lru.stats
 (** Hit/miss/eviction totals summed across shards. *)
 

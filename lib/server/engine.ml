@@ -221,3 +221,92 @@ let client_roundtrip_addr ~addr lines =
         Ok (Array.of_list responses))
 
 let client_roundtrip ~path lines = client_roundtrip_addr ~addr:(Unix.ADDR_UNIX path) lines
+
+(* --- resilient client --- *)
+
+(* One response line per request line, in order: if a roundtrip comes
+   back short, the prefix of responses is good and exactly the
+   unanswered suffix of requests needs re-sending.  Safe against the
+   admission daemon because mutations carry request ids and the daemon
+   answers a replayed id from its journal instead of re-applying —
+   the client-side half of exactly-once. *)
+let client_roundtrip_retry ~addr ?(retries = 0) ?(backoff_ms = 50) ?(seed = 1) lines =
+  let total = Array.length lines in
+  let rng = Rng.create ~seed in
+  let answered = ref [] in  (* response arrays, newest first *)
+  let answered_count () = List.fold_left (fun n r -> n + Array.length r) 0 !answered in
+  let assemble () = Array.concat (List.rev !answered) in
+  let rec attempt n =
+    let from = answered_count () in
+    let remaining = Array.sub lines from (total - from) in
+    let short_by outcome =
+      match outcome with
+      | Error e -> e
+      | Ok got -> Printf.sprintf "connection lost after %d of %d responses" (from + Array.length got) total
+    in
+    let outcome = client_roundtrip_addr ~addr remaining in
+    (match outcome with
+    | Ok responses when Array.length responses > 0 -> answered := responses :: !answered
+    | Ok _ | Error _ -> ());
+    if answered_count () >= total then Ok (assemble ())
+    else if n >= retries then
+      Error
+        (Printf.sprintf "%s%s" (short_by outcome)
+           (if retries > 0 then Printf.sprintf " (gave up after %d retries)" retries else ""))
+    else begin
+      (* exponential backoff, jittered so a fleet of retrying clients
+         doesn't re-dogpile the server in lockstep *)
+      let base = backoff_ms * (1 lsl min n 10) in
+      let jitter = Rng.int rng (max 1 base) in
+      Unix.sleepf (float_of_int (base + jitter) /. 1000.0);
+      attempt (n + 1)
+    end
+  in
+  attempt 0
+
+(* Send everything, read the expected responses, then *hold* the
+   connection open (no shutdown, no traffic) until the server closes
+   it or [hold] seconds pass — the probe for [--idle-timeout]. *)
+let client_hold ~addr ~hold lines =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  match Unix.connect sock addr with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "%s: %s" (string_of_addr addr) (Unix.error_message e))
+  | () ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+      (fun () ->
+        let payload = String.concat "" (Array.to_list (Array.map (fun l -> l ^ "\n") lines)) in
+        let rec send off =
+          if off < String.length payload then
+            match Unix.write_substring sock payload off (String.length payload - off) with
+            | n -> send (off + n)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> send off
+        in
+        send 0;
+        let deadline = Unix.gettimeofday () +. hold in
+        let received = Buffer.create 4096 in
+        let chunk = Bytes.create 65536 in
+        let rec wait () =
+          let left = deadline -. Unix.gettimeofday () in
+          if left <= 0.0 then `Hold_expired
+          else
+            match Unix.select [ sock ] [] [] left with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+            | [], _, _ -> `Hold_expired
+            | _ -> (
+              match Unix.read sock chunk 0 (Bytes.length chunk) with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+              | exception Unix.Unix_error _ -> `Closed_by_server
+              | 0 -> `Closed_by_server
+              | n ->
+                Buffer.add_subbytes received chunk 0 n;
+                wait ())
+        in
+        let ending = wait () in
+        let responses =
+          String.split_on_char '\n' (Buffer.contents received) |> List.filter not_blank
+        in
+        Ok (Array.of_list responses, ending))

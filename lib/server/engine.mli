@@ -98,3 +98,28 @@ val client_roundtrip_addr :
 val client_roundtrip : path:string -> string array -> (string array, string) result
 (** {!client_roundtrip_addr} over [ADDR_UNIX path] — the client side
     used by [redf batch --connect]. *)
+
+val client_roundtrip_retry :
+  addr:Unix.sockaddr ->
+  ?retries:int ->
+  ?backoff_ms:int ->
+  ?seed:int ->
+  string array ->
+  (string array, string) result
+(** {!client_roundtrip_addr} with resume-on-reconnect: responses come
+    back one per request in order, so after a lost connection (connect
+    refused, or fewer responses than requests) only the unanswered
+    {e suffix} is re-sent — up to [retries] times, with exponential
+    backoff from [backoff_ms] and deterministic jitter ([seed]).
+    Requests already answered are never repeated on the wire; re-sent
+    mutations rely on the admission daemon's request-id dedup for
+    exactly-once effect. *)
+
+val client_hold :
+  addr:Unix.sockaddr ->
+  hold:float ->
+  string array ->
+  (string array * [ `Closed_by_server | `Hold_expired ], string) result
+(** Pipeline [lines], then keep the connection open and idle (send side
+    deliberately {e not} shut down) until the server closes it or
+    [hold] seconds pass — the probe for [serve --idle-timeout]. *)

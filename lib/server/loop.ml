@@ -56,6 +56,28 @@ let bound_port l =
   | Unix.ADDR_INET (_, port) -> port
   | _ -> invalid_arg "Loop.bound_port: not a TCP listener"
 
+(* --- services --- *)
+
+(* what the loop needs to know about the thing it serves: the analysis
+   engine and the admission daemon both fit this shape *)
+type service = {
+  handle_lines : string array -> string array;  (* request order, one reply each *)
+  stop_requested : unit -> bool;
+  shed_response : string -> string;
+  is_mutation : string -> bool;
+      (* mutation lines get 2x [max_inflight] headroom before shedding:
+         under overload the daemon keeps admitting while what-if/query
+         traffic is shed first *)
+}
+
+let engine_service engine =
+  {
+    handle_lines = (fun lines -> Engine.handle_lines engine lines);
+    stop_requested = (fun () -> Engine.stop_requested engine);
+    shed_response = Protocol.shed_response;
+    is_mutation = (fun _ -> false);
+  }
+
 (* --- connections --- *)
 
 type conn = {
@@ -68,6 +90,7 @@ type conn = {
   out : Buffer.t;  (* response bytes queued behind [pending] *)
   mutable input_closed : bool;  (* EOF seen, or draining: no more reads *)
   mutable dead : bool;  (* fatal I/O error: close without flushing *)
+  mutable last_activity : float;  (* last read progress or write progress *)
 }
 
 let buffered_bytes c = String.length c.pending - c.pending_off + Buffer.length c.out
@@ -89,6 +112,7 @@ let flush c =
       with
       | n ->
         c.pending_off <- c.pending_off + n;
+        if n > 0 then c.last_activity <- Unix.gettimeofday ();
         go ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
@@ -98,7 +122,11 @@ let flush c =
 
 (* --- the loop --- *)
 
-let serve engine ?timeout ?(limits = default_limits) listeners =
+let serve_service service ?timeout ?idle_timeout ?(limits = default_limits) listeners =
+  (* a client vanishing mid-write must cost its connection, not the
+     process: flush/read map EPIPE/ECONNRESET to [dead], but only if
+     the SIGPIPE the failed write raises first doesn't kill us *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let conns = ref [] in (* newest first; batch composition only, never per-conn bytes *)
   let inflight = ref 0 in (* admitted Eval steps not yet answered, across conns *)
   let chunk = Bytes.create 65536 in
@@ -106,9 +134,12 @@ let serve engine ?timeout ?(limits = default_limits) listeners =
     List.iter
       (fun step ->
         match step with
-        | Engine.Eval line when !inflight >= limits.max_inflight ->
+        | Engine.Eval line
+          when !inflight
+               >= (if service.is_mutation line then 2 * limits.max_inflight
+                   else limits.max_inflight) ->
           Obs.Counter.incr m_shed;
-          Queue.add (Engine.Emit (Protocol.shed_response line)) c.steps
+          Queue.add (Engine.Emit (service.shed_response line)) c.steps
         | Engine.Eval _ as step ->
           incr inflight;
           c.queued <- c.queued + 1;
@@ -137,6 +168,7 @@ let serve engine ?timeout ?(limits = default_limits) listeners =
             out = Buffer.create 1024;
             input_closed = false;
             dead = false;
+            last_activity = Unix.gettimeofday ();
           }
           :: !conns;
         Obs.Gauge.set m_active (List.length !conns);
@@ -151,7 +183,10 @@ let serve engine ?timeout ?(limits = default_limits) listeners =
     | 0 ->
       c.input_closed <- true;
       enqueue c (Framing.finish c.framing)
-    | n -> enqueue c (Framing.feed c.framing ~now:(Unix.gettimeofday ()) (Bytes.sub_string chunk 0 n))
+    | n ->
+      let now = Unix.gettimeofday () in
+      c.last_activity <- now;
+      enqueue c (Framing.feed c.framing ~now (Bytes.sub_string chunk 0 n))
   in
   (* evaluate this tick's ready steps of all connections as one pool
      batch, stitching responses back per connection in arrival order *)
@@ -182,7 +217,7 @@ let serve engine ?timeout ?(limits = default_limits) listeners =
     let responses =
       match Array.of_list (List.rev !batch) with
       | [||] -> [||]
-      | batch -> Engine.handle_lines engine batch
+      | batch -> service.handle_lines batch
     in
     let idx = ref 0 in
     List.iter
@@ -204,6 +239,26 @@ let serve engine ?timeout ?(limits = default_limits) listeners =
           steps)
       popped
   in
+  (* an idle connection holds an fd (and, against a finite [select]
+     set, a seat) forever; with [--idle-timeout] the loop closes any
+     connection that has been completely quiet — nothing read, nothing
+     queued, nothing left to write — for longer than the limit.
+     Checked once per tick, so the effective timeout is [idle_timeout]
+     plus up to one tick (<= 0.5 s). *)
+  let kill_idle now =
+    match idle_timeout with
+    | None -> ()
+    | Some limit ->
+      List.iter
+        (fun c ->
+          if
+            (not c.dead) && (not c.input_closed)
+            && Queue.is_empty c.steps
+            && buffered_bytes c = 0
+            && now -. c.last_activity > limit
+          then c.dead <- true)
+        !conns
+  in
   let reap () =
     let gone, live = List.partition finished !conns in
     if gone <> [] then begin
@@ -217,7 +272,7 @@ let serve engine ?timeout ?(limits = default_limits) listeners =
     && buffered_bytes c <= limits.max_buffered_bytes
   in
   let rec loop () =
-    if not (Engine.stop_requested engine) then begin
+    if not (service.stop_requested ()) then begin
       let now = Unix.gettimeofday () in
       let tick =
         if List.exists (fun c -> not (Queue.is_empty c.steps)) !conns then 0.0
@@ -249,6 +304,7 @@ let serve engine ?timeout ?(limits = default_limits) listeners =
          List.iter
            (fun c -> if List.memq c.fd writable || buffered_bytes c > 0 then flush c)
            !conns;
+         kill_idle (Unix.gettimeofday ());
          reap ());
       loop ()
     end
@@ -280,3 +336,6 @@ let serve engine ?timeout ?(limits = default_limits) listeners =
       drain ();
       List.iter (fun l -> l.cleanup ()) listeners)
     loop
+
+let serve engine ?timeout ?idle_timeout ?limits listeners =
+  serve_service (engine_service engine) ?timeout ?idle_timeout ?limits listeners

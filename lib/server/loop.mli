@@ -67,8 +67,34 @@ val bound_port : listener -> int
 (** The actually bound TCP port (useful after [port = 0]).
     @raise Invalid_argument on a Unix-domain listener. *)
 
-val serve : Engine.t -> ?timeout:float -> ?limits:limits -> listener list -> unit
-(** Run the event loop over [listeners] until {!Engine.request_stop},
-    then drain and clean the listeners up (also on exception).
-    [timeout] is the per-connection partial-line deadline, as for
-    {!Engine.serve}. *)
+type service = {
+  handle_lines : string array -> string array;
+      (** One response per request line, in request order.  Called on
+          the loop's own domain; a service wanting parallelism brings
+          its own pool (as {!Engine.handle_lines} does). *)
+  stop_requested : unit -> bool;
+  shed_response : string -> string;
+  is_mutation : string -> bool;
+      (** Lines for which shedding is deferred to [2 * max_inflight]:
+          under overload the admission daemon keeps accepting
+          mutations while read-only traffic is shed first. *)
+}
+(** What the loop needs to know about the thing it serves — the
+    analysis engine ([redf serve]) and the admission daemon
+    ([redf admit]) both fit. *)
+
+val engine_service : Engine.t -> service
+
+val serve_service :
+  service -> ?timeout:float -> ?idle_timeout:float -> ?limits:limits -> listener list -> unit
+(** Run the event loop over [listeners] until [stop_requested], then
+    drain and clean the listeners up (also on exception).  [timeout]
+    is the per-connection partial-line deadline, as for
+    {!Engine.serve}.  [idle_timeout] (seconds; default: off) closes a
+    connection that stayed completely idle — nothing read, queued or
+    unwritten — for longer than the limit (granularity: one loop tick,
+    up to 0.5 s).  SIGPIPE is ignored for the process: a client that
+    vanishes mid-write costs its connection, never the loop. *)
+
+val serve : Engine.t -> ?timeout:float -> ?idle_timeout:float -> ?limits:limits -> listener list -> unit
+(** [serve_service (engine_service engine) …]. *)

@@ -40,6 +40,12 @@ val parse : string -> (request, Core.Json.t option * string) result
 val response : request -> Core.Verdict.t -> string
 (** The success response line (no trailing newline). *)
 
+val envelope : ?id:Core.Json.t -> string -> (string * Core.Json.t) list -> string
+(** [envelope ?id kind fields]: a response line with the standard
+    [schema_version]/[kind] (and optional echoed [id]) preamble —
+    the shared frame for every service speaking this wire format,
+    including the admission daemon's [kind = "admit"] replies. *)
+
 val error_response : ?id:Core.Json.t -> string -> string
 (** The error response line (no trailing newline). *)
 

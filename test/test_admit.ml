@@ -1,0 +1,440 @@
+(* Tests for the crash-safe admission stack: CRC framing, the
+   journal's torn-tail/corrupt-interior recovery policy (exhaustively,
+   at every byte boundary of the last record), state/record codecs and
+   idempotent replay, snapshot rotation through the store, the
+   daemon's verdict byte-identity against a from-scratch analyzer run,
+   request-id dedup, and a small in-process chaos run. *)
+
+open Core_helpers
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let ( // ) = Filename.concat
+
+let temp_dir =
+  let counter = ref 0 in
+  fun tag ->
+    incr counter;
+    let dir =
+      Filename.get_temp_dir_name ()
+      // Printf.sprintf "redf-test-admit-%s-%d-%d" tag (Unix.getpid ()) !counter
+    in
+    if Sys.file_exists dir then
+      Array.iter (fun f -> Sys.remove (dir // f)) (Sys.readdir dir)
+    else Unix.mkdir dir 0o755;
+    dir
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let analyzer =
+  match Core.Analyzer.of_name "GN2" with Ok a -> a | Error msg -> failwith msg
+
+(* --- crc32 --- *)
+
+let crc32_known_answers () =
+  (* the standard IEEE 802.3 check value, plus anchors that pin the
+     byte order and the empty case *)
+  check_int "check value" 0xCBF43926 (Admit.Crc32.string "123456789");
+  check_int "empty" 0 (Admit.Crc32.string "");
+  check_int "single NUL" 0xD202EF8D (Admit.Crc32.string "\x00");
+  check_int "ascii 'a'" 0xE8B7BE43 (Admit.Crc32.string "a")
+
+let crc32_incremental () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let whole = Admit.Crc32.string s in
+  for cut = 0 to String.length s do
+    let part = Admit.Crc32.update 0 s 0 cut in
+    check_int
+      (Printf.sprintf "split at %d" cut)
+      whole
+      (Admit.Crc32.update part s cut (String.length s - cut))
+  done
+
+(* --- journal framing --- *)
+
+let frame_roundtrip =
+  qtest ~count:200 "frame/unframe roundtrip" QCheck2.Gen.string (fun payload ->
+      Admit.Journal.unframe (Admit.Journal.frame payload) = Ok payload)
+
+let unframe_rejects_corruption () =
+  let framed = Admit.Journal.frame "payload" in
+  for i = 0 to String.length framed - 1 do
+    let bytes = Bytes.of_string framed in
+    Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 0x40));
+    match Admit.Journal.unframe (Bytes.to_string bytes) with
+    | Error _ -> ()
+    | Ok p -> Alcotest.failf "flip at %d still unframed as %S" i p
+  done
+
+(* --- the recovery policy, exhaustively ---
+
+   A journal holding [payloads] is truncated at *every* byte boundary
+   of its last record: every cut must scan as the full prefix plus
+   either the complete last record (cut = end) or a cleanly dropped
+   torn tail — never a partial payload, never an error.  This is the
+   crash-at-any-byte half of the recovery invariant; corrupt-interior
+   rejection is the other half. *)
+
+let scan_ok path =
+  match Admit.Journal.scan ~path with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "scan %s: %s" path msg
+
+let journal_bytes payloads =
+  Admit.Journal.header ^ String.concat "" (List.map Admit.Journal.frame payloads)
+
+let truncation_policy_exhaustive () =
+  let dir = temp_dir "trunc" in
+  let path = dir // "journal.wal" in
+  let payloads = [ "alpha"; ""; "a longer third record with more bytes in it"; "tail" ] in
+  let full = journal_bytes payloads in
+  let prefix = journal_bytes (List.filteri (fun i _ -> i < 3) payloads) in
+  let prefix_len = String.length prefix in
+  for cut = 0 to String.length full do
+    write_file path (String.sub full 0 cut);
+    let scan = scan_ok path in
+    if cut < String.length Admit.Journal.header then begin
+      (* a torn header scans as an empty journal *)
+      check_int (Printf.sprintf "cut %d: no records" cut) 0 (List.length scan.Admit.Journal.records);
+      check_int (Printf.sprintf "cut %d: torn header" cut) cut scan.Admit.Journal.torn_bytes
+    end
+    else if cut = String.length full then
+      Alcotest.(check (list string)) "full journal intact" payloads scan.Admit.Journal.records
+    else if cut >= prefix_len then begin
+      (* inside the last record: the prefix survives, the tail is torn *)
+      Alcotest.(check (list string))
+        (Printf.sprintf "cut %d: prefix records" cut)
+        (List.filteri (fun i _ -> i < 3) payloads)
+        scan.Admit.Journal.records;
+      check_int (Printf.sprintf "cut %d: valid prefix" cut) prefix_len scan.Admit.Journal.valid_bytes;
+      check_int (Printf.sprintf "cut %d: torn tail" cut) (cut - prefix_len)
+        scan.Admit.Journal.torn_bytes
+    end
+    else
+      (* inside an interior record the same policy applies record by
+         record: whatever full records fit before the cut survive *)
+      check_int
+        (Printf.sprintf "cut %d: consistent split" cut)
+        cut
+        (scan.Admit.Journal.valid_bytes + scan.Admit.Journal.torn_bytes)
+  done
+
+let truncation_policy_random =
+  qtest ~count:60 "random journals truncate cleanly at every byte"
+    QCheck2.Gen.(list_size (int_range 1 5) (string_size (int_range 0 24)))
+    (fun payloads ->
+      let dir = temp_dir "qtrunc" in
+      let path = dir // "journal.wal" in
+      let full = journal_bytes payloads in
+      let n = List.length payloads in
+      let prefix_len = String.length (journal_bytes (List.filteri (fun i _ -> i < n - 1) payloads)) in
+      let ok = ref true in
+      for cut = prefix_len to String.length full do
+        write_file path (String.sub full 0 cut);
+        match Admit.Journal.scan ~path with
+        | Error _ -> ok := false
+        | Ok scan ->
+          let expected_records =
+            if cut = String.length full then payloads
+            else List.filteri (fun i _ -> i < n - 1) payloads
+          in
+          if scan.Admit.Journal.records <> expected_records then ok := false;
+          (* recovery after the truncation must accept an append *)
+          let j =
+            Admit.Journal.open_append ~path ~valid_bytes:scan.Admit.Journal.valid_bytes ()
+          in
+          Admit.Journal.append ~fsync:false j "appended-after-recovery";
+          Admit.Journal.close j;
+          (match Admit.Journal.scan ~path with
+          | Ok rescan ->
+            if rescan.Admit.Journal.records <> expected_records @ [ "appended-after-recovery" ]
+            then ok := false
+          | Error _ -> ok := false)
+      done;
+      !ok)
+
+let corrupt_interior_rejected () =
+  let dir = temp_dir "corrupt" in
+  let path = dir // "journal.wal" in
+  let payloads = [ "first-record"; "second-record"; "third-record" ] in
+  let full = journal_bytes payloads in
+  (* flip one payload byte of the *first* record: a CRC mismatch with
+     intact records after it cannot be a crash artifact *)
+  let pos = String.length Admit.Journal.header + Admit.Journal.frame_overhead + 2 in
+  let bytes = Bytes.of_string full in
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 1));
+  write_file path (Bytes.to_string bytes);
+  (match Admit.Journal.scan ~path with
+  | Ok _ -> Alcotest.fail "corrupt interior record scanned as OK"
+  | Error msg ->
+    check_bool
+      (Printf.sprintf "diagnostic mentions corruption: %S" msg)
+      true
+      (let n = String.length msg in
+       let rec at i = i + 7 <= n && (String.sub msg i 7 = "corrupt" || at (i + 1)) in
+       at 0));
+  (* the same flip in the *last* record is indistinguishable from a
+     torn append and must recover by dropping it *)
+  let last_frame_len =
+    String.length full - String.length (journal_bytes [ "first-record"; "second-record" ])
+  in
+  let pos = String.length full - last_frame_len + Admit.Journal.frame_overhead + 2 in
+  let bytes = Bytes.of_string full in
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 1));
+  write_file path (Bytes.to_string bytes);
+  let scan = scan_ok path in
+  Alcotest.(check (list string))
+    "bad-CRC tail dropped"
+    [ "first-record"; "second-record" ]
+    scan.Admit.Journal.records;
+  check_int "whole tail frame torn" last_frame_len scan.Admit.Journal.torn_bytes
+
+(* --- state and codecs --- *)
+
+let t1 = task "tau1" "1.26" "7" "7" 9
+let t2 = task "tau2" "0.95" "5" "5" 6
+
+let state_apply_rules () =
+  let open Admit.State in
+  let s =
+    match apply_op empty (Add t1) with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  check_int "size" 1 (size s);
+  check_bool "mem" true (mem s "tau1");
+  (match apply_op s (Add t1) with
+  | Ok _ -> Alcotest.fail "duplicate add accepted"
+  | Error _ -> ());
+  (match apply_op s (Remove "absent") with
+  | Ok _ -> Alcotest.fail "absent remove accepted"
+  | Error _ -> ());
+  let s2 = match apply_op s (Remove "tau1") with Ok s -> s | Error e -> Alcotest.fail e in
+  check_int "empty again" 0 (size s2);
+  check_bool "states differ" false (equal s s2)
+
+let record_replay_rules () =
+  let open Admit.State in
+  let r seq op = { seq; rid = Some (Printf.sprintf "\"r%d\"" seq); op; reply = "ack" } in
+  let s1 = match apply_record empty (r 1 (Add t1)) with Ok s -> s | Error e -> Alcotest.fail e in
+  check_int "seq advanced" 1 (seq s1);
+  check_bool "reply stored" true (reply_for s1 "\"r1\"" = Some "ack");
+  (* at-or-below seq: the snapshot-overlap no-op *)
+  (match apply_record s1 (r 1 (Add t1)) with
+  | Ok s -> check_bool "no-op below seq" true (equal s s1)
+  | Error e -> Alcotest.fail e);
+  (* a gap is corruption, not a no-op *)
+  (match apply_record s1 (r 3 (Add t2)) with
+  | Ok _ -> Alcotest.fail "seq gap accepted"
+  | Error msg ->
+    check_bool "gap diagnostic" true (String.length msg > 0));
+  let s2 = match apply_record s1 (r 2 (Add t2)) with Ok s -> s | Error e -> Alcotest.fail e in
+  check_int "two tasks" 2 (size s2);
+  Alcotest.(check (list string)) "admission order" [ "tau1"; "tau2" ] (names s2)
+
+let codec_roundtrips () =
+  let open Admit.State in
+  let records =
+    [
+      { seq = 1; rid = Some "\"r1\""; op = Add t1; reply = {|{"kind":"admit","seq":1}|} };
+      { seq = 2; rid = None; op = Remove "tau1"; reply = "reply with \"quotes\" and \n" };
+      { seq = 3; rid = Some "7"; op = Add t2; reply = "" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match record_of_string (record_to_string r) with
+      | Error e -> Alcotest.failf "record roundtrip: %s" e
+      | Ok r' ->
+        check_bool (Printf.sprintf "record %d roundtrips" r.seq) true
+          (record_to_string r = record_to_string r'))
+    records;
+  let s =
+    List.fold_left
+      (fun s r -> match apply_record s r with Ok s -> s | Error e -> Alcotest.fail e)
+      empty records
+  in
+  (match of_snapshot_string (to_snapshot_string s) with
+  | Error e -> Alcotest.failf "snapshot roundtrip: %s" e
+  | Ok s' ->
+    check_bool "snapshot roundtrips" true (equal s s');
+    check_bool "replies survive" true (reply_for s' "\"r1\"" = reply_for s "\"r1\""));
+  (* canonicity: one byte form per state *)
+  check_str "snapshot canonical" (to_snapshot_string s) (to_snapshot_string s)
+
+(* --- store: commit / rotate / recover --- *)
+
+let store_recovers_after_rotation () =
+  let dir = temp_dir "store" in
+  let reopen () =
+    match Admit.Store.open_dir ~snapshot_every:3 ~dir () with
+    | Ok (st, recovery) -> (st, recovery)
+    | Error msg -> Alcotest.failf "open_dir: %s" msg
+  in
+  let st, recovery = reopen () in
+  check_int "fresh store" 0 recovery.Admit.Store.replayed;
+  let commit st seq op =
+    match
+      Admit.Store.commit st
+        { Admit.State.seq; rid = Some (string_of_int seq); op; reply = "ok-" ^ string_of_int seq }
+    with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "commit %d: %s" seq msg
+  in
+  (* 7 commits over snapshot_every = 3: at least two rotations *)
+  commit st 1 (Admit.State.Add t1);
+  commit st 2 (Admit.State.Add t2);
+  commit st 3 (Admit.State.Remove "tau1");
+  commit st 4 (Admit.State.Add (task "tau3" "0.5" "9" "9" 2));
+  commit st 5 (Admit.State.Remove "tau3");
+  commit st 6 (Admit.State.Add (task "tau4" "0.25" "4" "4" 1));
+  commit st 7 (Admit.State.Remove "tau4");
+  let final = Admit.Store.state st in
+  Admit.Store.close st;
+  let st2, recovery = reopen () in
+  check_bool "recovered ≡ final" true (Admit.State.equal final (Admit.Store.state st2));
+  check_int "recovered seq" 7 (Admit.State.seq (Admit.Store.state st2));
+  check_bool "snapshot did its job" true (recovery.Admit.Store.snapshot_seq >= 3);
+  check_bool "replies recovered" true
+    (Admit.State.reply_for (Admit.Store.state st2) "5" = Some "ok-5");
+  Admit.Store.close st2
+
+(* --- daemon: verdicts, dedup, recovery --- *)
+
+let line fields = Core.Json.to_string (Core.Json.Obj fields)
+
+let add_line ?id name c d t a =
+  line
+    ([ ("op", Core.Json.String "add-task") ]
+    @ (match id with Some id -> [ ("id", id) ] | None -> [])
+    @ [
+        ( "task",
+          Core.Json.Obj
+            [
+              ("name", Core.Json.String name);
+              ("C", Core.Json.String c);
+              ("D", Core.Json.String d);
+              ("T", Core.Json.String t);
+              ("A", Core.Json.Int a);
+            ] );
+      ])
+
+let field reply name =
+  match Core.Json.of_string reply with
+  | Ok json -> Core.Json.member name json
+  | Error msg -> Alcotest.failf "reply is not JSON (%s): %s" msg reply
+
+let with_daemon ?snapshot_every tag f =
+  let dir = temp_dir tag in
+  match Admit.Daemon.create ?snapshot_every ~analyzer ~fpga_area:100 ~dir () with
+  | Error msg -> Alcotest.failf "daemon create: %s" msg
+  | Ok (d, _) ->
+    Fun.protect ~finally:(fun () -> Admit.Daemon.close d) (fun () -> f dir d)
+
+let daemon_verdict_byte_identity () =
+  with_daemon "verdict" (fun _dir d ->
+      let reply = Admit.Daemon.handle_line d (add_line ~id:(Core.Json.Int 1) "tau1" "1.26" "7" "7" 9) in
+      check_bool "admitted" true (field reply "admitted" = Some (Core.Json.Bool true));
+      (* the wire verdict is byte-identical to a from-scratch run of the
+         same analyzer on the same taskset *)
+      let fresh ts =
+        Core.Json.to_string (Core.Verdict.to_json (analyzer.Core.Analyzer.decide ~fpga_area:100 ts))
+      in
+      let expect_fields reply ts =
+        let fresh_json =
+          match Core.Json.of_string (fresh ts) with Ok j -> j | Error e -> Alcotest.fail e
+        in
+        List.iter
+          (fun name ->
+            check_bool
+              (Printf.sprintf "field %S matches from-scratch" name)
+              true
+              (field reply name = Core.Json.member name fresh_json))
+          [ "accepted"; "checks" ]
+      in
+      expect_fields reply (Model.Taskset.of_list [ t1 ]);
+      let reply2 = Admit.Daemon.handle_line d (add_line ~id:(Core.Json.Int 2) "tau2" "0.95" "5" "5" 6) in
+      expect_fields reply2 (Model.Taskset.of_list [ t1; t2 ]);
+      (* what-if answers for the hypothetical set without mutating *)
+      let wi =
+        Admit.Daemon.handle_line d
+          (line
+             [
+               ("op", Core.Json.String "what-if");
+               ("drop", Core.Json.List [ Core.Json.String "tau1" ]);
+             ])
+      in
+      expect_fields wi (Model.Taskset.of_list [ t2 ]);
+      check_int "still two tasks" 2 (Admit.State.size (Admit.Daemon.state d));
+      (* an over-area task is rejected and not journaled *)
+      let seq_before = Admit.State.seq (Admit.Daemon.state d) in
+      let rej = Admit.Daemon.handle_line d (add_line ~id:(Core.Json.Int 3) "big" "1" "4" "4" 999) in
+      check_bool "rejected" true (field rej "admitted" = Some (Core.Json.Bool false));
+      check_int "rejection not journaled" seq_before (Admit.State.seq (Admit.Daemon.state d)))
+
+let daemon_dedup_and_recovery () =
+  let dir = temp_dir "dedup" in
+  let open_daemon () =
+    match Admit.Daemon.create ~analyzer ~fpga_area:10 ~dir () with
+    | Error msg -> Alcotest.failf "daemon create: %s" msg
+    | Ok (d, recovery) -> (d, recovery)
+  in
+  let d, _ = open_daemon () in
+  let req = add_line ~id:(Core.Json.String "r1") "tau1" "1.26" "7" "7" 9 in
+  let first = Admit.Daemon.handle_line d req in
+  (* a retry with the same id returns the stored bytes, applies nothing *)
+  check_str "duplicate rid answered with stored bytes" first (Admit.Daemon.handle_line d req);
+  check_int "not applied twice" 1 (Admit.State.size (Admit.Daemon.state d));
+  Admit.Daemon.close d;
+  (* dedup survives recovery: the reply bytes are in the journal *)
+  let d, recovery = open_daemon () in
+  check_int "one record replayed" 1 recovery.Admit.Store.replayed;
+  check_str "dedup across restart" first (Admit.Daemon.handle_line d req);
+  check_int "still one task" 1 (Admit.State.size (Admit.Daemon.state d));
+  Admit.Daemon.close d
+
+let chaos_smoke () =
+  let dir = temp_dir "chaos" in
+  let cfg =
+    { (Admit.Chaos.default ~analyzer ~fpga_area:10) with Admit.Chaos.cycles = 6; ops_per_cycle = 25 }
+  in
+  match Admit.Chaos.run ~dir cfg with
+  | Error msg -> Alcotest.failf "chaos: %s" msg
+  | Ok stats ->
+    check_int "all cycles ran" 6 stats.Admit.Chaos.cycles;
+    check_bool "verdicts were checked" true (stats.Admit.Chaos.verdicts_checked > 0)
+
+let () =
+  Alcotest.run "admit"
+    [
+      ( "crc32",
+        [
+          Alcotest.test_case "known answers" `Quick crc32_known_answers;
+          Alcotest.test_case "incremental" `Quick crc32_incremental;
+        ] );
+      ( "journal",
+        [
+          frame_roundtrip;
+          Alcotest.test_case "unframe rejects corruption" `Quick unframe_rejects_corruption;
+          Alcotest.test_case "truncation policy, every byte" `Quick truncation_policy_exhaustive;
+          truncation_policy_random;
+          Alcotest.test_case "corrupt interior rejected" `Quick corrupt_interior_rejected;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "apply rules" `Quick state_apply_rules;
+          Alcotest.test_case "record replay rules" `Quick record_replay_rules;
+          Alcotest.test_case "codec roundtrips" `Quick codec_roundtrips;
+        ] );
+      ( "store",
+        [ Alcotest.test_case "recovers after rotation" `Quick store_recovers_after_rotation ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "verdict byte-identity" `Quick daemon_verdict_byte_identity;
+          Alcotest.test_case "dedup and recovery" `Quick daemon_dedup_and_recovery;
+          Alcotest.test_case "chaos smoke" `Quick chaos_smoke;
+        ] );
+    ]

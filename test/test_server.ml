@@ -302,9 +302,11 @@ let temp_socket name =
 
 (* listeners are bound in the test domain before the loop domain
    spawns, so clients can connect without retrying *)
-let with_loop ?limits ~jobs listeners f =
+let with_loop ?limits ?idle_timeout ~jobs listeners f =
   let engine = Server.Engine.create ~cache_size:256 ~jobs () in
-  let server = Domain.spawn (fun () -> Server.Loop.serve engine ?limits listeners) in
+  let server =
+    Domain.spawn (fun () -> Server.Loop.serve engine ?idle_timeout ?limits listeners)
+  in
   Fun.protect
     ~finally:(fun () ->
       Server.Engine.request_stop engine;
@@ -406,6 +408,157 @@ let load_shedding () =
           end)
         responses)
 
+let abrupt_disconnect_isolated () =
+  (* regression: a client that pipelines requests and closes its socket
+     before draining the responses used to kill the whole loop with an
+     uncaught EPIPE/ECONNRESET; it must cost only that connection *)
+  let path = temp_socket "redf-test-epipe.sock" in
+  with_loop ~jobs:1 [ Server.Loop.unix_listener ~path ] (fun engine ->
+      for round = 1 to 3 do
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect sock (Unix.ADDR_UNIX path);
+        let payload =
+          String.concat ""
+            (List.init 16 (fun i ->
+                 request ~id:(Core.Json.Int ((100 * round) + i)) table1 ^ "\n"))
+        in
+        write_all sock payload;
+        (* RST rather than orderly shutdown where the stack allows it:
+           close with response bytes surely still undelivered *)
+        Unix.close sock;
+        (* a well-behaved client right after must be served as if
+           nothing happened *)
+        let responses =
+          roundtrip ~addr:(Unix.ADDR_UNIX path) [| request ~id:(Core.Json.Int round) table1 |]
+        in
+        check_int (Printf.sprintf "round %d: served" round) 1 (Array.length responses);
+        check_str
+          (Printf.sprintf "round %d: byte-identical" round)
+          (Server.Engine.handle_line engine (request ~id:(Core.Json.Int round) table1))
+          responses.(0)
+      done)
+
+let idle_timeout_closes_idle_connection () =
+  let path = temp_socket "redf-test-idle.sock" in
+  with_loop ~idle_timeout:0.3 ~jobs:1 [ Server.Loop.unix_listener ~path ] (fun _ ->
+      let lines = [| request ~id:(Core.Json.Int 1) table1 |] in
+      match Server.Engine.client_hold ~addr:(Unix.ADDR_UNIX path) ~hold:10.0 lines with
+      | Error msg -> Alcotest.failf "client_hold: %s" msg
+      | Ok (responses, ending) ->
+        (* answered first, evicted after — the timeout applies to idle
+           connections, not slow requests *)
+        check_int "request answered before eviction" 1 (Array.length responses);
+        check_str "a verdict" "verdict" (response_kind responses.(0));
+        check_bool "server closed the idle connection" true (ending = `Closed_by_server))
+
+(* a hand-rolled TCP server whose first connection answers only [cut]
+   of the pipelined lines before dropping the socket — the shape of a
+   daemon crashing between reply and flush *)
+let flaky_server ~total ~cut =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen sock 8;
+  let port =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  let seen = Array.make 2 [] in
+  let read_lines conn n =
+    let buf = Buffer.create 256 in
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      let lines =
+        String.split_on_char '\n' (Buffer.contents buf)
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      if List.length lines >= n then lines
+      else
+        match Unix.read conn chunk 0 (Bytes.length chunk) with
+        | 0 -> lines
+        | got ->
+          Buffer.add_subbytes buf chunk 0 got;
+          go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+  in
+  let server =
+    Domain.spawn (fun () ->
+        (* first connection: all [total] lines arrive, [cut] answered *)
+        let conn, _ = Unix.accept sock in
+        let lines = read_lines conn total in
+        seen.(0) <- lines;
+        List.iteri (fun i l -> if i < cut then write_all conn ("ack:" ^ l ^ "\n")) lines;
+        Unix.close conn;
+        (* second connection: the retry; answer everything *)
+        let conn, _ = Unix.accept sock in
+        let lines = read_lines conn (total - cut) in
+        seen.(1) <- lines;
+        List.iter (fun l -> write_all conn ("ack:" ^ l ^ "\n")) lines;
+        Unix.close conn;
+        Unix.close sock)
+  in
+  (port, server, seen)
+
+let retry_client_resumes_suffix () =
+  let total = 5 and cut = 2 in
+  let port, server, seen = flaky_server ~total ~cut in
+  let lines = Array.init total (fun i -> Printf.sprintf "req-%d" i) in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let result = Server.Engine.client_roundtrip_retry ~addr ~retries:3 ~backoff_ms:10 lines in
+  Domain.join server;
+  (match result with
+  | Error msg -> Alcotest.failf "retry client: %s" msg
+  | Ok responses ->
+    check_int "one response per request" total (Array.length responses);
+    Array.iteri
+      (fun i resp -> check_str (Printf.sprintf "response %d" i) ("ack:req-" ^ string_of_int i) resp)
+      responses);
+  (* the wire contract: the first connection saw everything, the retry
+     re-sent exactly the unanswered suffix — answered requests are
+     never repeated *)
+  check_int "first connection saw all" total (List.length seen.(0));
+  Alcotest.(check (list string))
+    "retry sent the suffix only"
+    (Array.to_list (Array.sub lines cut (total - cut)))
+    seen.(1)
+
+let mutation_shed_deferred () =
+  (* under overload, read-only lines shed at [max_inflight] while
+     mutations ride until twice that — the admission daemon's
+     mutations-first degradation *)
+  let path = temp_socket "redf-test-mutshed.sock" in
+  let stop = Atomic.make false in
+  let service =
+    {
+      Server.Loop.handle_lines = Array.map (fun l -> "done:" ^ l);
+      stop_requested = (fun () -> Atomic.get stop);
+      shed_response = (fun l -> "shed:" ^ l);
+      is_mutation = (fun l -> contains ~needle:"mut" l);
+    }
+  in
+  let limits = { Server.Loop.default_limits with Server.Loop.max_inflight = 1 } in
+  let listener = Server.Loop.unix_listener ~path in
+  let server = Domain.spawn (fun () -> Server.Loop.serve_service service ~limits [ listener ]) in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join server)
+    (fun () ->
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      (* one write, so one server read: enqueued as one step batch *)
+      write_all sock "query-1\nmut-1\nquery-2\n";
+      Unix.shutdown sock Unix.SHUTDOWN_SEND;
+      let responses =
+        String.split_on_char '\n' (read_all sock) |> List.filter (fun l -> String.trim l <> "")
+      in
+      Unix.close sock;
+      Alcotest.(check (list string))
+        "mutation admitted beyond the query threshold"
+        [ "done:query-1"; "done:mut-1"; "shed:query-2" ]
+        responses)
+
 let () =
   Alcotest.run "server"
     [
@@ -443,5 +596,10 @@ let () =
           Alcotest.test_case "tcp roundtrip" `Quick tcp_roundtrip;
           Alcotest.test_case "concurrent clients isolated" `Quick concurrent_clients_isolated;
           Alcotest.test_case "load shedding" `Quick load_shedding;
+          Alcotest.test_case "abrupt disconnect isolated" `Quick abrupt_disconnect_isolated;
+          Alcotest.test_case "idle timeout closes idle connection" `Quick
+            idle_timeout_closes_idle_connection;
+          Alcotest.test_case "retry client resumes suffix" `Quick retry_client_resumes_suffix;
+          Alcotest.test_case "mutation shed deferred" `Quick mutation_shed_deferred;
         ] );
     ]
