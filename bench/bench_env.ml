@@ -31,16 +31,10 @@ let skip_micro = Sys.getenv_opt "REDF_SKIP_MICRO" <> None
 
 let horizon = Model.Time.of_units horizon_units
 
-let results_dir = "results"
-
-let ensure_results_dir () =
-  if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
-
-let write_file path contents =
-  ensure_results_dir ();
-  let oc = open_out (Filename.concat results_dir path) in
-  output_string oc contents;
-  close_out oc
+(* results-file plumbing lives in Bench.Env (shared with the redf
+   bench-* subcommands); re-exported here under the harness's names *)
+let results_dir = Bench.Env.results_dir
+let write_file = Bench.Env.write_file
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')

@@ -88,81 +88,16 @@ let print_results results =
 
 (* --- committed perf baseline: results/BENCH_core.json --- *)
 
-(* Analyzer cost per decide at N in {8, 64, 256}: the committed
-   baseline future PRs diff against (ROADMAP item 4).  Bechamel's OLS
-   wants many iterations, which GN2's O(N^3) exact arithmetic makes
-   prohibitive at N=256 (a single decide runs minutes), so the baseline
-   measures directly: repeated decides on the wall clock until ~0.5 s
-   or 64 runs, minimum one. *)
-let core_sizes = [ 8; 64; 256 ]
-
-let core_analyzers =
-  [
-    ("DP", fun ts -> ignore (Core.Dp.accepts ~fpga_area ts));
-    ("GN1", fun ts -> ignore (Core.Gn1.accepts ~fpga_area ts));
-    ("GN2", fun ts -> ignore (Core.Gn2.accepts ~fpga_area ts));
-    ( "approx[1/10]",
-      fun ts -> ignore (Exact.Approx.analyze ~eps:(Rat.of_ints 1 10) ~fpga_area ts) );
-    ( "approx[1/100]",
-      fun ts -> ignore (Exact.Approx.analyze ~eps:(Rat.of_ints 1 100) ~fpga_area ts) );
-  ]
-
-(* the oracle is exponential in N (offset combinations), so its rows
-   use crafted small integer tasksets with an explicit combination cap
-   instead of the generated N sweep *)
-let exact_sizes = [ 2; 3 ]
-
-let exact_taskset n =
-  let task c d t a = Model.Task.of_decimal ~exec:c ~deadline:d ~period:t ~area:a () in
-  Model.Taskset.of_list
-    (List.filteri
-       (fun i _ -> i < n)
-       [ task "1" "6" "6" 40; task "2" "8" "8" 50; task "1" "4" "4" 30 ])
-
-let exact_decide ts =
-  ignore
-    (Exact.Oracle.decide ~max_combinations:20_000 ~fpga_area ~policy:Sim.Policy.edf_nf ts)
-
-let us_per_decide f ts =
-  let budget_s = 0.5 and max_runs = 64 in
-  let t0 = Unix.gettimeofday () in
-  let rec go runs =
-    f ts;
-    let elapsed = Unix.gettimeofday () -. t0 in
-    if elapsed >= budget_s || runs + 1 >= max_runs then (elapsed, runs + 1) else go (runs + 1)
-  in
-  let elapsed, runs = go 0 in
-  elapsed *. 1e6 /. float_of_int runs
-
+(* Analyzer cost per decide, measured by the shared Bench.Core_bench
+   matrix (the same rows [redf bench-core] runs and the CI perf leg
+   diffs against the committed baseline). *)
 let emit_core () =
   let rows =
-    List.concat_map
-      (fun n ->
-        let ts = taskset_of_size n in
-        List.map
-          (fun (name, f) ->
-            let us = us_per_decide f ts in
-            Printf.printf "  %-4s n=%-4d %s/decide\n%!" name n (pretty_time (us *. 1e3));
-            Printf.sprintf "{\"analyzer\":%S,\"n\":%d,\"us_per_decide\":%.2f}" name n us)
-          core_analyzers)
-      core_sizes
+    Bench.Core_bench.collect
+      ~progress:(fun r -> Printf.printf "  %s\n%!" (Bench.Core_bench.pretty_row r))
+      ()
   in
-  let rows =
-    rows
-    @ List.map
-        (fun n ->
-          let ts = exact_taskset n in
-          let us = us_per_decide exact_decide ts in
-          Printf.printf "  %-4s n=%-4d %s/decide\n%!" "exact" n (pretty_time (us *. 1e3));
-          Printf.sprintf "{\"analyzer\":%S,\"n\":%d,\"us_per_decide\":%.2f}" "exact" n us)
-        exact_sizes
-  in
-  let json =
-    Printf.sprintf
-      "{\"kind\":\"bench-core\",\"results\":[%s],\"schema_version\":1,\"unit\":\"us/decide\"}\n"
-      (String.concat "," rows)
-  in
-  Bench_env.write_file "BENCH_core.json" json;
+  Bench_env.write_file "BENCH_core.json" (Bench.Env.core_doc rows);
   Printf.printf "  -> %s\n" (Filename.concat Bench_env.results_dir "BENCH_core.json")
 
 let run () =

@@ -81,45 +81,9 @@ let percentile sorted p =
     sorted.(max 0 (min (n - 1) rank))
   end
 
-let contains haystack needle =
-  let h = String.length haystack and n = String.length needle in
-  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
-  n = 0 || go 0
-
-let ensure_parent_dir path =
-  let dir = Filename.dirname path in
-  if dir <> "" && dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755
-
-(* The results file is JSON lines, one line per bench section, each
-   self-labelled by its "bench":"<section>" field — so bench-serve and
-   bench-admit each rewrite their own line without clobbering the
-   other.  Sections can't nest under one object: bench lines carry
-   floats, which exact-arithmetic {!Core.Json} refuses to represent,
-   so the file is spliced textually.  A legacy single-line file
-   without a "bench" tag is adopted as the "serve" section. *)
-let write_section ~out ~section json_line =
-  ensure_parent_dir out;
-  let tag_of line =
-    let probe tag = Printf.sprintf {|"bench":"%s"|} tag in
-    if String.length (String.trim line) = 0 then None
-    else
-      match List.find_opt (fun t -> contains line (probe t)) [ "serve"; "admit" ] with
-      | Some t -> Some t
-      | None -> Some "serve"
-  in
-  let existing =
-    if not (Sys.file_exists out) then []
-    else
-      In_channel.with_open_bin out In_channel.input_all
-      |> String.split_on_char '\n'
-      |> List.filter_map (fun line ->
-             match tag_of line with Some t -> Some (t, line) | None -> None)
-  in
-  let sections = (section, json_line) :: List.remove_assoc section existing in
-  let sections = List.sort (fun (a, _) (b, _) -> String.compare a b) sections in
-  let oc = open_out out in
-  List.iter (fun (_, line) -> output_string oc (line ^ "\n")) sections;
-  close_out oc
+(* the sectioned results file lives in Bench.Env now; the alias keeps
+   this module the local name bench-admit writes through *)
+let write_section = Bench.Env.write_section
 
 let run ~clients ~requests ~cache_size ~shards ~jobs ~tcp ~check ~out =
   Obs.set_enabled true;

@@ -11,6 +11,7 @@
      check-src typedtree static analysis of the repo's own sources (.cmt files)
      serve     analysis service: line-oriented JSON over stdio, socket and/or TCP
      bench-serve  drive a serve loop with concurrent clients; latency/throughput
+     bench-core   analyzer cost matrix vs the committed baseline (CI perf gate)
      batch     evaluate a file of service requests (in-process or --connect)
 
    Long-running subcommands accept --metrics[=FILE] to dump a runtime
@@ -1488,6 +1489,60 @@ let bench_admit_cmd =
   in
   Cmd.v info term
 
+let bench_core_cmd =
+  let run budget_ms out compare tolerance =
+    Bench_core.run ~budget_ms ~out ~compare ~tolerance
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget for the whole matrix. Rows cut short or skipped when it expires \
+             are flagged $(b,truncated) in the JSON and excluded from comparison.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string Bench_core.default_out
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the schema-v2 bench-core document.")
+  in
+  let compare_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "compare" ] ~docv:"FILE"
+          ~doc:
+            "Baseline bench-core document (schema v1 or v2) to diff against; read before \
+             $(b,--out) is written, so both may name the same committed file.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt string "1.5x"
+      & info [ "tolerance" ] ~docv:"RATIO"
+          ~doc:"Allowed current/baseline slowdown per row, e.g. $(b,1.5x).")
+  in
+  let term = Term.(const run $ budget_arg $ out_arg $ compare_arg $ tolerance_arg) in
+  let info =
+    Cmd.info "bench-core"
+      ~doc:"Measure analyzer cost per decide; optionally gate on a committed baseline"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Times every analyzer (DP, GN1, GN2, approx, the exact oracle) on seed-fixed \
+             workloads across taskset sizes, in single-decide and batch ($(b,decide_all)) \
+             modes, and writes results/BENCH_core.json. With $(b,--compare), rows are matched \
+             to the baseline by (analyzer, n, mode): a row slower than tolerance times its \
+             baseline (and by a small absolute floor, to ignore micro-row jitter) is a \
+             regression and the command exits 1 — the CI perf leg. A tripping row is \
+             re-measured once and the faster run kept, so a one-off scheduling hiccup on a \
+             shared runner does not fail the gate.";
+        ]
+  in
+  Cmd.v info term
+
 let main_cmd =
   let doc = "schedulability analysis of EDF scheduling on reconfigurable hardware" in
   let info =
@@ -1517,6 +1572,7 @@ let main_cmd =
       chaos_admit_cmd;
       bench_serve_cmd;
       bench_admit_cmd;
+      bench_core_cmd;
       batch_cmd;
       metrics_diff_cmd;
     ]

@@ -38,7 +38,7 @@ let always_accept ~name ~sound_for =
     Core.Verdict.make ~test_name:name ~checks
   in
   {
-    base = { Core.Analyzer.name; cite = "deliberately unsound stub"; version = "0"; decide };
+    base = Core.Analyzer.make ~name ~cite:"deliberately unsound stub" ~version:"0" decide;
     sound_for;
   }
 

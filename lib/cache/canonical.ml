@@ -1,3 +1,5 @@
+module Columns = Model.Taskset.Columns
+
 let compare_tasks (a : Model.Task.t) (b : Model.Task.t) =
   let t = Model.Time.ticks in
   let c = Int.compare (t a.Model.Task.exec) (t b.Model.Task.exec) in
@@ -9,17 +11,34 @@ let compare_tasks (a : Model.Task.t) (b : Model.Task.t) =
       let c = Int.compare (t a.Model.Task.period) (t b.Model.Task.period) in
       if c <> 0 then c else Int.compare a.Model.Task.area b.Model.Task.area
 
-let order ts =
-  let tasks = Model.Taskset.to_array ts in
-  let idx = Array.init (Array.length tasks) Fun.id in
+(* sorting column indices instead of task records keeps key derivation
+   allocation-light on the batch paths: no Task list rebuild per probe,
+   just one int array over the existing tick columns *)
+let order_cols (cols : Columns.t) =
+  let exec = cols.Columns.exec
+  and deadline = cols.Columns.deadline
+  and period = cols.Columns.period
+  and area = cols.Columns.area in
+  let idx = Array.init cols.Columns.n Fun.id in
   (* stable: ties sort by original index, so equal tasks keep their
      relative order and the permutation is deterministic *)
   Array.sort
     (fun i j ->
-      let c = compare_tasks tasks.(i) tasks.(j) in
-      if c <> 0 then c else Int.compare i j)
+      let c = Int.compare exec.(i) exec.(j) in
+      if c <> 0 then c
+      else
+        let c = Int.compare deadline.(i) deadline.(j) in
+        if c <> 0 then c
+        else
+          let c = Int.compare period.(i) period.(j) in
+          if c <> 0 then c
+          else
+            let c = Int.compare area.(i) area.(j) in
+            if c <> 0 then c else Int.compare i j)
     idx;
   idx
+
+let order ts = order_cols (Columns.of_taskset ts)
 
 let apply order ts =
   Model.Taskset.of_list
@@ -37,9 +56,15 @@ let key_prefix ~analyzer ~fpga_area =
   Printf.sprintf "%s\x00%s\x00%d\x00" analyzer.Core.Analyzer.name analyzer.Core.Analyzer.version
     fpga_area
 
-let key ~analyzer ~fpga_area ts =
+let key_cols ~analyzer ~fpga_area (cols : Columns.t) =
   let buf = Buffer.create 128 in
   Buffer.add_string buf (key_prefix ~analyzer ~fpga_area);
-  let tasks = Model.Taskset.to_array ts in
-  Array.iter (fun i -> Buffer.add_string buf (fragment tasks.(i))) (order ts);
+  Array.iter
+    (fun i ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d;" cols.Columns.exec.(i) cols.Columns.deadline.(i)
+           cols.Columns.period.(i) cols.Columns.area.(i)))
+    (order_cols cols);
   Buffer.contents buf
+
+let key ~analyzer ~fpga_area ts = key_cols ~analyzer ~fpga_area (Columns.of_taskset ts)

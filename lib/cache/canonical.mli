@@ -12,6 +12,10 @@
     keys is equality of requests, so a cache hit can never return the
     verdict of a colliding taskset. *)
 
+val order_cols : Model.Taskset.Columns.t -> int array
+(** {!order} over the columnar views — the batch paths derive keys
+    without rebuilding task records. *)
+
 val order : Model.Taskset.t -> int array
 (** The stable permutation that sorts the tasks by
     [(C, D, T, A)] (tick-exact): [order.(p)] is the original index of
@@ -26,6 +30,10 @@ val apply : int array -> Model.Taskset.t -> Model.Taskset.t
 
 val key : analyzer:Core.Analyzer.t -> fpga_area:int -> Model.Taskset.t -> string
 (** The canonical cache key for [(A(H), tasks, analyzer, version)]. *)
+
+val key_cols : analyzer:Core.Analyzer.t -> fpga_area:int -> Model.Taskset.Columns.t -> string
+(** {!key} from the columnar views; byte-identical to [key] on the
+    equivalent taskset. *)
 
 val compare_tasks : Model.Task.t -> Model.Task.t -> int
 (** The canonical task ordering: lexicographic on tick-exact

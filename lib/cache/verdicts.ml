@@ -37,6 +37,51 @@ let decide t ~analyzer ~fpga_area ts =
 let decide_canonical t ~analyzer ~fpga_area ~key ~canonical ~order =
   decide_keyed t ~analyzer ~fpga_area ~key ~canonical:(lazy canonical) ~order
 
+(* batch variant: probe every key, collect the distinct missing
+   canonical tasksets (first-occurrence order), decide them in one
+   [decide_all] call, then stitch.  Freshly computed verdicts are looked
+   up in a local table rather than re-probed, so an eviction between put
+   and stitch cannot force a recompute. *)
+let decide_all t ~analyzer ~fpga_area tss =
+  let n = Array.length tss in
+  let cols = Array.map Model.Taskset.Columns.of_taskset tss in
+  let keys = Array.map (fun c -> Canonical.key_cols ~analyzer ~fpga_area c) cols in
+  let orders = Array.map Canonical.order_cols cols in
+  let cached = Array.map (fun k -> Sharded.find t.lru k) keys in
+  let seen = Hashtbl.create 16 in
+  let missing = ref [] in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | Some _ -> ()
+      | None ->
+        let k = keys.(i) in
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.add seen k ();
+          missing := (k, Canonical.apply orders.(i) tss.(i)) :: !missing
+        end)
+    cached;
+  let missing = Array.of_list (List.rev !missing) in
+  let computed = Hashtbl.create 16 in
+  if Array.length missing > 0 then begin
+    let fresh = analyzer.Core.Analyzer.decide_all ~fpga_area (Array.map snd missing) in
+    Array.iteri
+      (fun j (k, _) ->
+        Sharded.put t.lru k fresh.(j);
+        Hashtbl.add computed k fresh.(j))
+      missing
+  end;
+  Array.init n (fun i ->
+      let canonical_verdict =
+        match cached.(i) with
+        | Some v -> v
+        | None -> (
+          match Hashtbl.find_opt computed keys.(i) with
+          | Some v -> v
+          | None -> assert false (* every miss key was just computed *))
+      in
+      remap orders.(i) canonical_verdict)
+
 let stats t = Sharded.stats t.lru
 let length t = Sharded.length t.lru
 let shards t = Sharded.shards t.lru

@@ -28,6 +28,19 @@ val decide : t -> analyzer:Core.Analyzer.t -> fpga_area:int -> Model.Taskset.t -
     equivalent request (any task order / names) was already answered
     for this analyzer name+version and device area. *)
 
+val decide_all :
+  t ->
+  analyzer:Core.Analyzer.t ->
+  fpga_area:int ->
+  Model.Taskset.t array ->
+  Core.Verdict.t array
+(** {!decide} over a batch, element-for-element byte-identical to
+    mapping it: every key is probed once, the {e distinct} missing
+    canonical tasksets are decided in a single
+    {!Core.Analyzer.t.decide_all} call (so a taskset occurring twice in
+    the batch — under any task order or names — is computed once), and
+    the results remapped per request. *)
+
 val decide_canonical :
   t ->
   analyzer:Core.Analyzer.t ->

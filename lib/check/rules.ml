@@ -42,10 +42,10 @@ let has_prefix ~prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
 
 (* The deterministic world is everything the analyzers, simulator,
-   sweep harness and audit execute: all of lib/ except the two modules
-   whose whole point is wall-clock time (obs timers) and socket
-   timeouts (server). *)
-let det_excluded = [ "lib/obs/"; "lib/server/" ]
+   sweep harness and audit execute: all of lib/ except the modules
+   whose whole point is wall-clock time (obs timers, the bench
+   harness) and socket timeouts (server). *)
+let det_excluded = [ "lib/obs/"; "lib/server/"; "lib/bench/" ]
 
 let det_scope file =
   has_prefix ~prefix:"lib/" file

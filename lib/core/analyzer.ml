@@ -3,49 +3,43 @@ type t = {
   cite : string;
   version : string;
   decide : fpga_area:int -> Model.Taskset.t -> Verdict.t;
+  decide_all : fpga_area:int -> Model.Taskset.t array -> Verdict.t array;
 }
+
+let batch_of_decide decide ~fpga_area tss = Array.map (fun ts -> decide ~fpga_area ts) tss
+
+let make ?decide_all ~name ~cite ~version decide =
+  let decide_all =
+    match decide_all with Some f -> f | None -> batch_of_decide decide
+  in
+  { name; cite; version; decide; decide_all }
 
 let guan = "Guan, Gu, Deng, Liu, Yu (IPDPS 2007)"
 
 let dp =
-  {
-    name = "DP";
-    cite = "Theorem 1, " ^ guan ^ ", after Danne & Platzner";
-    version = "1";
-    decide = Dp.decide;
-  }
+  make ~decide_all:Dp.decide_all ~name:"DP"
+    ~cite:("Theorem 1, " ^ guan ^ ", after Danne & Platzner")
+    ~version:"1" Dp.decide
 
 let dp_original =
-  {
-    name = "DP-original";
-    cite = "Danne & Platzner's uncorrected bound (real-valued areas)";
-    version = "1";
-    decide = Dp.decide_original;
-  }
+  make ~name:"DP-original"
+    ~cite:"Danne & Platzner's uncorrected bound (real-valued areas)" ~version:"1"
+    Dp.decide_original
 
 let gn1 =
-  {
-    name = "GN1";
-    cite = "Theorem 2, " ^ guan ^ " (strict inequality, DESIGN.md section 2)";
-    version = "1";
-    decide = Gn1.decide;
-  }
+  make ~decide_all:Gn1.decide_all ~name:"GN1"
+    ~cite:("Theorem 2, " ^ guan ^ " (strict inequality, DESIGN.md section 2)")
+    ~version:"1" Gn1.decide
 
 let gn1_printed =
-  {
-    name = "GN1-printed";
-    cite = "Theorem 2 as printed ((A(H) - A_k) bound constant)";
-    version = "1";
-    decide = Gn1.decide_printed;
-  }
+  make ~name:"GN1-printed"
+    ~cite:"Theorem 2 as printed ((A(H) - A_k) bound constant)" ~version:"1"
+    Gn1.decide_printed
 
 let gn2 =
-  {
-    name = "GN2";
-    cite = "Theorem 3, " ^ guan ^ " (typo-corrected, DESIGN.md section 2)";
-    version = "1";
-    decide = Gn2.decide;
-  }
+  make ~decide_all:Gn2.decide_all ~name:"GN2"
+    ~cite:("Theorem 3, " ^ guan ^ " (typo-corrected, DESIGN.md section 2)")
+    ~version:"1" Gn2.decide
 
 (* the necessary conditions phrased as an analyzer so sweeps and the
    server can serve them; an empty check list encodes "nothing to
@@ -61,12 +55,9 @@ let nec_decide ~fpga_area ts =
     Verdict.reject_all ~test_name:"NEC" ~note ts
 
 let nec =
-  {
-    name = "NEC";
-    cite = "necessary feasibility conditions (infeasible under any scheduler when violated)";
-    version = "1";
-    decide = nec_decide;
-  }
+  make ~name:"NEC"
+    ~cite:"necessary feasibility conditions (infeasible under any scheduler when violated)"
+    ~version:"1" nec_decide
 
 let defaults = [ dp; gn1; gn2 ]
 let builtins = defaults @ [ dp_original; gn1_printed; nec ]

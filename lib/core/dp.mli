@@ -18,6 +18,18 @@ val applicable : Model.Taskset.t -> bool
 val decide : fpga_area:int -> Model.Taskset.t -> Verdict.t
 val accepts : fpga_area:int -> Model.Taskset.t -> bool
 
+val decide_all : fpga_area:int -> Model.Taskset.t array -> Verdict.t array
+(** One verdict per taskset, in order; element [i] is byte-identical to
+    [decide ~fpga_area tss.(i)]. *)
+
+val decide_cols : test_name:string -> plus_one:bool -> fpga_area:int -> Params.Cols.t -> Verdict.t
+(** The columnar kernel behind {!decide} (and, with [plus_one:false],
+    {!decide_original}). *)
+
+val decide_reference : fpga_area:int -> Model.Taskset.t -> Verdict.t
+(** The pre-columnar record-path implementation, kept so the test suite
+    can pin [decide ≡ decide_reference] byte-for-byte. *)
+
 val decide_original : fpga_area:int -> Model.Taskset.t -> Verdict.t
 (** Danne & Platzner's original bound with [A(H) - Amax] (no [+1]). *)
 

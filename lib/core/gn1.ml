@@ -1,3 +1,5 @@
+let wider_note = "a task is wider than the FPGA"
+
 let check_indices qs ~k ~i =
   let n = Array.length qs in
   if k < 0 || k >= n || i < 0 || i >= n then invalid_arg "Gn1: task index out of range";
@@ -17,10 +19,11 @@ let beta_q qs ~k ~i =
   let carry = Rat.min qi.Params.c (Rat.max (qk.Params.d - (ni * qi.Params.t)) Rat.zero) in
   ((ni * qi.Params.c) + carry) / qi.Params.d
 
+(* record-path implementation, kept as the byte-identity reference for
+   the columnar fast path (test_columns.ml) *)
 let decide_general ~test_name ~lemma3_form ~fpga_area ts =
   let qs = Params.of_taskset ts in
-  if Params.amax qs > fpga_area then
-    Verdict.reject_all ~test_name ~note:"a task is wider than the FPGA" ts
+  if Params.amax qs > fpga_area then Verdict.reject_all ~test_name ~note:wider_note ts
   else begin
     let n = Array.length qs in
     let check k =
@@ -59,13 +62,62 @@ let decide_general ~test_name ~lemma3_form ~fpga_area ts =
     Verdict.make ~test_name ~checks:(List.init n check)
   end
 
+(* columnar path: same O(N^2) interference sum, but the per-task
+   rational views (and the C_i/D_i densities) come precomputed from
+   Params.Cols instead of being re-derived per call.  Identical op
+   sequence per (k, i), so identical bytes; the strictness remark above
+   applies here too. *)
+let decide_cols ~test_name ~lemma3_form ~fpga_area (p : Params.Cols.t) =
+  let open Params.Cols in
+  if p.amax > fpga_area then Verdict.reject_all_n ~test_name ~note:wider_note p.n
+  else begin
+    let n = p.n in
+    let check k =
+      let slack = Rat.sub Rat.one p.dens.(k) in
+      if Rat.sign slack < 0 then
+        {
+          Verdict.task_index = k;
+          satisfied = false;
+          lhs = p.dens.(k);
+          rhs = Rat.one;
+          note = "C_k > D_k";
+        }
+      else begin
+        let dk = p.d.(k) in
+        let lhs = ref Rat.zero in
+        for i = 0 to n - 1 do
+          if i <> k then begin
+            let f = Rat.floor (Rat.div (Rat.sub dk p.d.(i)) p.t.(i)) in
+            let ni = Rat.of_bignum (Bignum.max Bignum.zero (Bignum.succ f)) in
+            let carry = Rat.min p.c.(i) (Rat.max (Rat.sub dk (Rat.mul ni p.t.(i))) Rat.zero) in
+            let b = Rat.div (Rat.add (Rat.mul ni p.c.(i)) carry) p.d.(i) in
+            lhs := Rat.add !lhs (Rat.mul p.area_q.(i) (Rat.min b slack))
+          end
+        done;
+        let abnd = fpga_area - p.area.(k) + if lemma3_form then 1 else 0 in
+        let rhs = Rat.mul (Rat.of_int abnd) slack in
+        let satisfied = Rat.compare !lhs rhs < 0 in
+        { Verdict.task_index = k; satisfied; lhs = !lhs; rhs; note = "" }
+      end
+    in
+    Verdict.make ~test_name ~checks:(List.init n check)
+  end
+
 let decide ~fpga_area ts =
   Obs.Span.with_ ~name:"core.gn1.decide" (fun () ->
-      decide_general ~test_name:"GN1" ~lemma3_form:true ~fpga_area ts)
+      decide_cols ~test_name:"GN1" ~lemma3_form:true ~fpga_area (Params.Cols.of_taskset ts))
+
+let decide_all ~fpga_area tss =
+  Obs.Span.with_ ~name:"core.gn1.decide" (fun () ->
+      Array.map
+        (fun ts -> decide_cols ~test_name:"GN1" ~lemma3_form:true ~fpga_area (Params.Cols.of_taskset ts))
+        tss)
+
+let decide_reference ~fpga_area ts = decide_general ~test_name:"GN1" ~lemma3_form:true ~fpga_area ts
 let accepts ~fpga_area ts = Verdict.accepted (decide ~fpga_area ts)
 
 let decide_printed ~fpga_area ts =
-  decide_general ~test_name:"GN1-printed" ~lemma3_form:false ~fpga_area ts
+  decide_cols ~test_name:"GN1-printed" ~lemma3_form:false ~fpga_area (Params.Cols.of_taskset ts)
 
 let accepts_printed ~fpga_area ts = Verdict.accepted (decide_printed ~fpga_area ts)
 

@@ -29,6 +29,28 @@
 val decide : fpga_area:int -> Model.Taskset.t -> Verdict.t
 val accepts : fpga_area:int -> Model.Taskset.t -> bool
 
+val decide_all : fpga_area:int -> Model.Taskset.t array -> Verdict.t array
+(** One verdict per taskset, in order; element [i] is byte-identical to
+    [decide ~fpga_area tss.(i)]. *)
+
+val decide_cols : fpga_area:int -> Params.Cols.t -> Verdict.t
+(** The columnar kernel behind {!decide}: beta rewritten as the hinge
+    [max(K_i, A_i - B_i lambda)], both condition sums maintained as
+    running linear coefficients over an event sweep, and one globally
+    sorted candidate array sliced per task — O(N^2 log N) per taskset
+    against the reference's O(N^3), with identical verdict bytes. *)
+
+val decide_reference : fpga_area:int -> Model.Taskset.t -> Verdict.t
+(** The pre-columnar record-path implementation (one O(N) beta fold per
+    candidate), kept so the test suite can pin [decide ≡
+    decide_reference] byte-for-byte. *)
+
+val decide_exhaustive : fpga_area:int -> Model.Taskset.t -> Verdict.t
+(** {!decide_reference} without the early exit: every candidate of every
+    task is evaluated before deciding.  Verdicts are byte-identical to
+    {!decide}; only the [core.gn2.lambda_evals] counter differs, which
+    makes the pruning observable (and testable). *)
+
 val lambda_candidates : Model.Taskset.t -> k:int -> Rat.t list
 (** The candidate values tried for task [k] (0-based): exactly the
     discontinuity points of [beta] named by the paper ([C_i/T_i] for all

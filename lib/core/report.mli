@@ -12,6 +12,11 @@ type t = {
 val run : ?analyzers:Analyzer.t list -> fpga_area:int -> Model.Taskset.t -> t
 (** Default analyzers: {!Analyzer.defaults} (DP, GN1, GN2). *)
 
+val run_all : ?analyzers:Analyzer.t list -> fpga_area:int -> Model.Taskset.t array -> t array
+(** One report per taskset via each analyzer's batch path
+    ({!Analyzer.t.decide_all}); element [i] is byte-identical to
+    [run ?analyzers ~fpga_area tss.(i)]. *)
+
 val summary_line : t -> string
 (** e.g. ["DP:ACCEPT GN1:REJECT GN2:REJECT"]. *)
 

@@ -4,13 +4,13 @@ type t = { test_name : string; accepted : bool; checks : task_check list }
 let accepted t = t.accepted
 let make ~test_name ~checks = { test_name; accepted = List.for_all (fun c -> c.satisfied) checks; checks }
 
-let reject_all ~test_name ~note ts =
+let reject_all_n ~test_name ~note n =
   let checks =
-    List.mapi
-      (fun i _ -> { task_index = i; satisfied = false; lhs = Rat.zero; rhs = Rat.zero; note })
-      (Model.Taskset.to_list ts)
+    List.init n (fun i -> { task_index = i; satisfied = false; lhs = Rat.zero; rhs = Rat.zero; note })
   in
   { test_name; accepted = false; checks }
+
+let reject_all ~test_name ~note ts = reject_all_n ~test_name ~note (Model.Taskset.size ts)
 
 let failing_tasks t =
   List.filter_map (fun c -> if c.satisfied then None else Some c.task_index) t.checks

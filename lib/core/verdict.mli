@@ -28,6 +28,10 @@ val reject_all : test_name:string -> note:string -> Model.Taskset.t -> t
 (** A verdict rejecting every task with the same note (used for
     precondition failures such as a task wider than the device). *)
 
+val reject_all_n : test_name:string -> note:string -> int -> t
+(** {!reject_all} for callers that only hold the task count (the
+    columnar decide paths); identical verdict. *)
+
 val failing_tasks : t -> int list
 val pp : Format.formatter -> t -> unit
 

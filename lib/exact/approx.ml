@@ -18,6 +18,20 @@ let area_demand ts ~at =
       else acc + ((((t - d) / p) + 1) * Time.ticks task.Model.Task.exec * task.Model.Task.area))
     0 (Taskset.to_list ts)
 
+(* same integer recurrence over the columnar views: the point scans below
+   evaluate h at O(n + log horizon) points, so the per-point list
+   traversal (and its closure) is the dominant cost; test_columns.ml pins
+   this against {!area_demand} *)
+let area_demand_cols (cols : Taskset.Columns.t) ~at_ticks =
+  let t = at_ticks in
+  let acc = ref 0 in
+  for i = 0 to cols.Taskset.Columns.n - 1 do
+    let d = cols.Taskset.Columns.deadline.(i) and p = cols.Taskset.Columns.period.(i) in
+    if t >= d then
+      acc := !acc + ((((t - d) / p) + 1) * cols.Taskset.Columns.exec.(i) * cols.Taskset.Columns.area.(i))
+  done;
+  !acc
+
 type outcome =
   | Accepted of { horizon : Time.t; points : int; partial : bool }
   | Refuted_at of { at : Time.t; demand : int; supply : int }
@@ -103,10 +117,11 @@ let analyze ?(eps = default_eps) ?(horizon_cap = default_horizon_cap) ~fpga_area
     in
     let points = check_points ~eps ~horizon ts in
     Obs.Counter.add m_points (List.length points);
+    let cols = Taskset.Columns.of_taskset ts in
     let rec scan = function
       | [] -> Accepted { horizon = Time.of_ticks horizon; points = List.length points; partial }
       | p :: rest ->
-        let demand = area_demand ts ~at:(Time.of_ticks p) in
+        let demand = area_demand_cols cols ~at_ticks:p in
         let supply = fpga_area * p in
         if demand > supply then Refuted_at { at = Time.of_ticks p; demand; supply }
         else scan rest
@@ -115,9 +130,9 @@ let analyze ?(eps = default_eps) ?(horizon_cap = default_horizon_cap) ~fpga_area
 
 (* max h(t)/t over the checked points, in columns: the verdict's
    taskset-level lhs against rhs = A(H) *)
-let demand_ratio ts points =
+let demand_ratio cols points =
   List.fold_left
-    (fun acc p -> Rat.max acc (Rat.of_ints (area_demand ts ~at:(Time.of_ticks p)) p))
+    (fun acc p -> Rat.max acc (Rat.of_ints (area_demand_cols cols ~at_ticks:p) p))
     Rat.zero points
 
 let verdict ~eps ~name ~fpga_area ts =
@@ -146,7 +161,10 @@ let verdict ~eps ~name ~fpga_area ts =
       | Accepted { horizon; points; partial } ->
         let lhs =
           if points = 0 then Rat.zero
-          else demand_ratio ts (check_points ~eps ~horizon:(Time.ticks horizon) ts)
+          else
+            demand_ratio
+              (Taskset.Columns.of_taskset ts)
+              (check_points ~eps ~horizon:(Time.ticks horizon) ts)
         in
         ( true,
           lhs,

@@ -37,6 +37,11 @@ val default_eps : Rat.t
 val area_demand : Model.Taskset.t -> at:Model.Time.t -> int
 (** [h(at)] in column-ticks, exact integer arithmetic. *)
 
+val area_demand_cols : Model.Taskset.Columns.t -> at_ticks:int -> int
+(** {!area_demand} over the columnar views, used by the point scans;
+    [area_demand_cols (Columns.of_taskset ts) ~at_ticks:(Time.ticks at)
+    = area_demand ts ~at] (pinned by test_columns.ml). *)
+
 type outcome =
   | Accepted of { horizon : Model.Time.t; points : int; partial : bool }
       (** no violation at any test point; [partial] flags a horizon

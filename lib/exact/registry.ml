@@ -65,33 +65,22 @@ let exact_verdict ~name ~policy ~fpga_area ts =
 let cite = "Goossens & Meumeu Yomsi; Section 6's exact-test remark"
 
 let exact_nf =
-  {
-    Core.Analyzer.name = "exact";
-    cite;
-    version = "1";
-    decide = (fun ~fpga_area ts -> exact_verdict ~name:"exact" ~policy:Sim.Policy.edf_nf ~fpga_area ts);
-  }
+  Core.Analyzer.make ~name:"exact" ~cite ~version:"1" (fun ~fpga_area ts ->
+      exact_verdict ~name:"exact" ~policy:Sim.Policy.edf_nf ~fpga_area ts)
 
 let exact_fkf =
-  {
-    Core.Analyzer.name = "exact-fkf";
-    cite;
-    version = "1";
-    decide =
-      (fun ~fpga_area ts -> exact_verdict ~name:"exact-fkf" ~policy:Sim.Policy.edf_fkf ~fpga_area ts);
-  }
+  Core.Analyzer.make ~name:"exact-fkf" ~cite ~version:"1" (fun ~fpga_area ts ->
+      exact_verdict ~name:"exact-fkf" ~policy:Sim.Policy.edf_fkf ~fpga_area ts)
 
 let approx_name eps = "approx[" ^ Rat.to_string eps ^ "]"
 
 let approx_with eps =
   if Rat.sign eps <= 0 then invalid_arg "Registry.approx_with: eps must be positive";
   let name = approx_name eps in
-  {
-    Core.Analyzer.name;
-    cite = "Albers & Slomka, approximate feasibility (area-weighted necessary variant)";
-    version = "1";
-    decide = (fun ~fpga_area ts -> Approx.verdict ~eps ~name ~fpga_area ts);
-  }
+  Core.Analyzer.make ~name
+    ~cite:"Albers & Slomka, approximate feasibility (area-weighted necessary variant)"
+    ~version:"1"
+    (fun ~fpga_area ts -> Approx.verdict ~eps ~name ~fpga_area ts)
 
 let parse_eps body =
   match String.index_opt body '/' with

@@ -56,22 +56,57 @@ let m_draw_failures = Obs.Counter.make "experiment.sweep.draw_failures"
    are attributable; registered up front, recorded from any domain *)
 let point_timer target_us = Obs.Timer.make (Printf.sprintf "experiment.sweep.point.us%g" target_us)
 
-let evaluate cfg ts = function
-  | Analytic a -> Core.Analyzer.accepts a ~fpga_area:cfg.profile.Model.Generator.fpga_area ts
-  | Simulation (_, policy) ->
-    let sim_cfg =
-      {
-        (Sim.Engine.default_config ~fpga_area:cfg.profile.Model.Generator.fpga_area ~policy) with
-        Sim.Engine.horizon = cfg.sim_horizon;
-      }
-    in
-    Sim.Engine.schedulable sim_cfg ts
+(* Both conditioning modes run in two phases on the given domain pool:
+   a generation phase that draws every taskset from its own
+   Rng.split-derived generator (state a function of (seed, item index)
+   alone), then an evaluation phase.  Analytic methods evaluate through
+   the analyzer's batch path ({!Core.Analyzer.t.decide_all}) in
+   per-worker chunks of surviving tasksets; simulations stay one work
+   item per taskset.  Accept/reject per (item, method) — and therefore
+   every byte of output — is identical to evaluating items one by one,
+   for any worker count. *)
 
-(* Both conditioning modes fan out over independent work items — one
-   taskset drawn and judged per item — on the given domain pool.  Each
-   item owns an Rng.split-derived generator whose state depends only on
-   (seed, item index), so the per-point tallies, and therefore every
-   byte of output, are identical for any worker count. *)
+let evaluate_all ~pool cfg methods (tasksets : Model.Taskset.t option array) =
+  let n = Array.length tasksets in
+  let live = ref [] in
+  Array.iteri
+    (fun i t -> match t with Some ts -> live := (i, ts) :: !live | None -> ())
+    tasksets;
+  let live = Array.of_list (List.rev !live) in
+  let nlive = Array.length live in
+  let fpga_area = cfg.profile.Model.Generator.fpga_area in
+  let jobs = max 1 (Parallel.Pool.jobs pool) in
+  let chunk_size = max 1 ((nlive + jobs - 1) / jobs) in
+  let nchunks = if nlive = 0 then 0 else (nlive + chunk_size - 1) / chunk_size in
+  let chunks =
+    Array.init nchunks (fun c ->
+        Array.sub live (c * chunk_size) (min chunk_size (nlive - (c * chunk_size))))
+  in
+  let per_method =
+    Array.map
+      (function
+        | Analytic a ->
+          Parallel.Pool.map pool
+            (fun chunk ->
+              Array.map Core.Verdict.accepted
+                (a.Core.Analyzer.decide_all ~fpga_area (Array.map snd chunk)))
+            chunks
+          |> Array.to_list |> Array.concat
+        | Simulation (_, policy) ->
+          let sim_cfg =
+            {
+              (Sim.Engine.default_config ~fpga_area ~policy) with
+              Sim.Engine.horizon = cfg.sim_horizon;
+            }
+          in
+          Parallel.Pool.map pool (fun (_, ts) -> Sim.Engine.schedulable sim_cfg ts) live)
+      methods
+  in
+  let results = Array.make n None in
+  Array.iteri
+    (fun li (i, _) -> results.(i) <- Some (Array.map (fun bools -> bools.(li)) per_method))
+    live;
+  results
 
 let run_scaled ~progress ~pool cfg methods =
   let targets = Array.of_list cfg.targets in
@@ -83,7 +118,7 @@ let run_scaled ~progress ~pool cfg methods =
   let point_gens = Parallel.Det.gens master n_points in
   let sample_gens = Array.map (fun g -> Parallel.Det.gens g samples) point_gens in
   let point_timers = Array.map point_timer targets in
-  let one k =
+  let draw k =
     let pi = k / samples and si = k mod samples in
     Obs.Counter.incr m_items;
     Obs.Timer.time point_timers.(pi) (fun () ->
@@ -96,12 +131,13 @@ let run_scaled ~progress ~pool cfg methods =
           None
         | Some ts ->
           Obs.Counter.incr m_generated;
-          Some (Array.map (fun m -> evaluate cfg ts m) methods))
+          Some ts)
   in
-  let results =
+  let tasksets =
     if n_points * samples = 0 then [||]
-    else Parallel.Pool.init ~progress pool (n_points * samples) one
+    else Parallel.Pool.init ~progress pool (n_points * samples) draw
   in
+  let results = evaluate_all ~pool cfg methods tasksets in
   List.init n_points (fun pi ->
       let accepted = Array.make (Array.length methods) 0 in
       let generated = ref 0 in
@@ -138,20 +174,22 @@ let run_binned ~progress ~pool cfg methods =
       None
     | Some bi ->
       Obs.Counter.incr m_generated;
-      Some (bi, Array.map (fun m -> evaluate cfg ts m) methods)
+      Some (bi, ts)
   in
-  let results =
+  let drawn =
     if draws = 0 then [||] else Parallel.Det.init ~progress pool ~seed:cfg.seed draws one
   in
+  let results = evaluate_all ~pool cfg methods (Array.map (Option.map snd) drawn) in
   let generated = Array.make n_buckets 0 in
   let accepted = Array.init n_buckets (fun _ -> Array.make (Array.length methods) 0) in
-  Array.iter
-    (function
-      | None -> ()
-      | Some (bi, accepts) ->
+  Array.iteri
+    (fun i d ->
+      match (d, results.(i)) with
+      | Some (bi, _), Some accepts ->
         generated.(bi) <- generated.(bi) + 1;
-        Array.iteri (fun mi ok -> if ok then accepted.(bi).(mi) <- accepted.(bi).(mi) + 1) accepts)
-    results;
+        Array.iteri (fun mi ok -> if ok then accepted.(bi).(mi) <- accepted.(bi).(mi) + 1) accepts
+      | _ -> ())
+    drawn;
   List.init n_buckets (fun bi ->
       { target_us = targets.(bi); generated = generated.(bi); accepted = accepted.(bi) })
 

@@ -70,6 +70,46 @@ let of_csv s =
     in
     of_list (List.map parse_row rows)
 
+(* --- columnar view --- *)
+
+module Columns = struct
+  type t = {
+    n : int;
+    exec : int array;
+    deadline : int array;
+    period : int array;
+    area : int array;
+    names : string array;
+  }
+
+  let of_taskset ts =
+    let n = Array.length ts in
+    let exec = Array.make n 0
+    and deadline = Array.make n 0
+    and period = Array.make n 0
+    and area = Array.make n 0
+    and names = Array.make n "" in
+    Array.iteri
+      (fun i (task : Task.t) ->
+        exec.(i) <- Time.ticks task.exec;
+        deadline.(i) <- Time.ticks task.deadline;
+        period.(i) <- Time.ticks task.period;
+        area.(i) <- task.area;
+        names.(i) <- task.name)
+      ts;
+    { n; exec; deadline; period; area; names }
+
+  let to_taskset c =
+    of_list
+      (List.init c.n (fun i ->
+           Task.make ~name:c.names.(i) ~exec:(Time.of_ticks c.exec.(i))
+             ~deadline:(Time.of_ticks c.deadline.(i))
+             ~period:(Time.of_ticks c.period.(i))
+             ~area:c.area.(i) ()))
+
+  let size c = c.n
+end
+
 let equal a b = Array.length a = Array.length b && Array.for_all2 Task.equal a b
 
 let pp fmt t =

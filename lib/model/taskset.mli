@@ -37,6 +37,32 @@ val hyperperiod : ?cap:Time.t -> t -> hyperperiod
     large hyper-periods; the simulator treats [Exceeds_cap] by truncating
     its horizon (see {!Sim}). *)
 
+(** Structure-of-arrays view of a taskset: one int array per parameter,
+    in tick units, plus the name table.  Built once per taskset, it is
+    what the allocation-light decide paths ({!Core.Params.Cols}) and the
+    canonical cache keying ({!Cache.Canonical}) iterate over instead of
+    re-walking task records. *)
+module Columns : sig
+  type taskset := t
+
+  type t = {
+    n : int;
+    exec : int array;  (** [C_i] in ticks *)
+    deadline : int array;  (** [D_i] in ticks *)
+    period : int array;  (** [T_i] in ticks *)
+    area : int array;  (** [A_i] in columns *)
+    names : string array;
+  }
+
+  val of_taskset : taskset -> t
+
+  val to_taskset : t -> taskset
+  (** Inverse of {!of_taskset}: [to_taskset (of_taskset ts)] equals [ts]
+      task for task, names included. *)
+
+  val size : t -> int
+end
+
 val to_csv : t -> string
 (** One header line then one [name,C,D,T,A] line per task (decimal time
     units). *)

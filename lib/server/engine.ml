@@ -52,9 +52,89 @@ let handle_line t line =
       Obs.Counter.incr m_errors;
       Protocol.error_response ?id:req.Protocol.id ("internal error: " ^ Printexc.to_string e))
 
+(* Batches fan out over the analyzers' batch paths: parse in parallel,
+   group the well-formed requests by (analyzer name, version, device
+   area), split each group into per-worker chunks, and push every chunk
+   through Cache.Verdicts.decide_all — so duplicate tasksets inside a
+   chunk are decided once and per-taskset setup is amortized.  Response
+   bytes and det counter totals are exactly the per-line path's: parse
+   errors answer in place, and a chunk whose batch decision raises is
+   replayed request-by-request so the failing request alone gets the
+   "internal error" response. *)
 let handle_lines t lines =
   Obs.Counter.incr m_batches;
-  Parallel.Pool.map t.pool (handle_line t) lines
+  let parsed =
+    Parallel.Pool.map t.pool
+      (fun line ->
+        Obs.Counter.incr m_requests;
+        match Protocol.parse line with
+        | Error (id, msg) ->
+          Obs.Counter.incr m_errors;
+          Either.Left (Protocol.error_response ?id msg)
+        | Ok req -> Either.Right req)
+      lines
+  in
+  let responses = Array.make (Array.length lines) "" in
+  let groups = Hashtbl.create 8 in
+  let group_order = ref [] in
+  Array.iteri
+    (fun i p ->
+      match p with
+      | Either.Left r -> responses.(i) <- r
+      | Either.Right (req : Protocol.request) ->
+        let key =
+          req.Protocol.analyzer.Core.Analyzer.name ^ "\x00"
+          ^ req.Protocol.analyzer.Core.Analyzer.version ^ "\x00"
+          ^ string_of_int req.Protocol.fpga_area
+        in
+        (match Hashtbl.find_opt groups key with
+         | Some l -> l := (req, i) :: !l
+         | None ->
+           Hashtbl.add groups key (ref [ (req, i) ]);
+           group_order := key :: !group_order))
+    parsed;
+  let jobs = max 1 (Parallel.Pool.jobs t.pool) in
+  let chunks =
+    List.concat_map
+      (fun key ->
+        let items = Array.of_list (List.rev !(Hashtbl.find groups key)) in
+        let g = Array.length items in
+        let chunk_size = max 1 ((g + jobs - 1) / jobs) in
+        let nchunks = (g + chunk_size - 1) / chunk_size in
+        List.init nchunks (fun c ->
+            Array.sub items (c * chunk_size) (min chunk_size (g - (c * chunk_size)))))
+      (List.rev !group_order)
+  in
+  let answer_one (req : Protocol.request) =
+    match
+      Obs.Timer.time request_timer (fun () ->
+          Cache.Verdicts.decide t.cache ~analyzer:req.Protocol.analyzer
+            ~fpga_area:req.Protocol.fpga_area req.Protocol.taskset)
+    with
+    | verdict -> Protocol.response req verdict
+    | exception e ->
+      Obs.Counter.incr m_errors;
+      Protocol.error_response ?id:req.Protocol.id ("internal error: " ^ Printexc.to_string e)
+  in
+  let chunk_results =
+    Parallel.Pool.map t.pool
+      (fun chunk ->
+        let req0, _ = chunk.(0) in
+        match
+          Obs.Timer.time request_timer (fun () ->
+              Cache.Verdicts.decide_all t.cache ~analyzer:req0.Protocol.analyzer
+                ~fpga_area:req0.Protocol.fpga_area
+                (Array.map (fun ((r : Protocol.request), _) -> r.Protocol.taskset) chunk))
+        with
+        | verdicts -> Array.mapi (fun j (req, _) -> Protocol.response req verdicts.(j)) chunk
+        | exception _ -> Array.map (fun (req, _) -> answer_one req) chunk)
+      (Array.of_list chunks)
+  in
+  List.iteri
+    (fun c chunk ->
+      Array.iteri (fun j (_, i) -> responses.(i) <- chunk_results.(c).(j)) chunk)
+    chunks;
+  responses
 
 (* --- framing items to protocol responses --- *)
 

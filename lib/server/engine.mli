@@ -53,7 +53,12 @@ val handle_line : t -> string -> string
 (** One request line to one response line (no newline).  Never raises. *)
 
 val handle_lines : t -> string array -> string array
-(** Fan a batch out over the pool; responses in request order. *)
+(** Fan a batch out over the pool; responses in request order,
+    byte-identical to mapping {!handle_line}.  Internally the batch is
+    parsed in parallel, grouped by (analyzer, version, device area) and
+    decided through {!Cache.Verdicts.decide_all}, so duplicate tasksets
+    in a batch cost one decision and the columnar analyzers amortize
+    their per-taskset setup. *)
 
 (** {2 Framing items to responses}
 

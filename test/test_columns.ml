@@ -1,0 +1,121 @@
+(* The columnar/batch contract of this repo's analyzer core:
+   Model.Taskset.Columns round-trips losslessly, and every columnar or
+   batch fast path prints byte-for-byte what the record-at-a-time
+   reference prints — same verdicts, same notes, same JSON — on random
+   tasksets (constrained and unconstrained deadlines, tasks wider than
+   the device, duplicated and permuted sets).
+
+   Byte identity, not structural equality: the serve/batch front ends
+   and the verdict cache both promise cached == fresh == batch at the
+   byte level, so these properties pin the strongest visible form. *)
+
+module Columns = Model.Taskset.Columns
+module Time = Model.Time
+
+(* deadlines both below and above the period, so GN2's d<=t / d>t
+   branches and GN1's carry-in clamping all get exercised *)
+let task_gen =
+  QCheck2.Gen.(
+    let* t_units = int_range 2 10 in
+    let* d_units = int_range 1 12 in
+    let period = Time.of_units t_units in
+    let deadline = Time.of_units d_units in
+    let c_cap = min (Time.ticks period) (Time.ticks deadline) in
+    let* c_ticks = int_range 1 c_cap in
+    let* area = int_range 1 12 in
+    return (Model.Task.make ~exec:(Time.of_ticks c_ticks) ~deadline ~period ~area ()))
+
+let taskset_gen =
+  QCheck2.Gen.(
+    let* tasks = list_size (int_range 1 7) task_gen in
+    let* tasks = shuffle_l tasks in
+    return (Model.Taskset.of_list tasks))
+
+(* device narrow enough that some drawn tasks exceed it (reject_all
+   path) and wide enough that full analyses run too *)
+let area_gen = QCheck2.Gen.int_range 6 16
+
+let case_gen = QCheck2.Gen.pair taskset_gen area_gen
+
+let verdict_bytes v =
+  Format.asprintf "%a" Core.Verdict.pp v ^ "\x00" ^ Core.Json.to_string (Core.Verdict.to_json v)
+
+let qtest = Core_helpers.qtest
+
+(* --- Columns round-trip --- *)
+
+let prop_columns_roundtrip =
+  qtest ~count:500 "Columns.to_taskset (of_taskset ts) = ts" taskset_gen (fun ts ->
+      Model.Taskset.equal (Columns.to_taskset (Columns.of_taskset ts)) ts)
+
+(* --- columnar decide == record-path reference, byte for byte --- *)
+
+let bytes_ident name decide reference =
+  qtest ~count:400
+    (Printf.sprintf "%s: columnar decide == reference bytes" name)
+    case_gen
+    (fun (ts, fpga_area) ->
+      String.equal (verdict_bytes (decide ~fpga_area ts)) (verdict_bytes (reference ~fpga_area ts)))
+
+let prop_dp_ident = bytes_ident "DP" Core.Dp.decide Core.Dp.decide_reference
+let prop_gn1_ident = bytes_ident "GN1" Core.Gn1.decide Core.Gn1.decide_reference
+let prop_gn2_ident = bytes_ident "GN2" Core.Gn2.decide Core.Gn2.decide_reference
+
+(* GN2's event sweep prunes lambda candidates; the exhaustive evaluator
+   visits every candidate.  Verdict bytes must not notice. *)
+let prop_gn2_pruning =
+  bytes_ident "GN2 pruned vs exhaustive" Core.Gn2.decide Core.Gn2.decide_exhaustive
+
+(* --- approx: columnar demand scan == record scan --- *)
+
+let prop_approx_demand =
+  qtest ~count:500 "approx: area_demand_cols == area_demand"
+    QCheck2.Gen.(pair taskset_gen (int_range 0 30))
+    (fun (ts, at_units) ->
+      let at = Time.of_units at_units in
+      Exact.Approx.area_demand_cols (Columns.of_taskset ts) ~at_ticks:(Time.ticks at)
+      = Exact.Approx.area_demand ts ~at)
+
+(* --- Analyzer.decide_all == mapping decide --- *)
+
+let tasksets_gen = QCheck2.Gen.(array_size (int_range 0 5) taskset_gen)
+
+let prop_decide_all_ident =
+  qtest ~count:150 "Analyzer.decide_all == Array.map decide (all defaults)"
+    QCheck2.Gen.(pair tasksets_gen area_gen)
+    (fun (tss, fpga_area) ->
+      List.for_all
+        (fun (a : Core.Analyzer.t) ->
+          let batch = Array.map verdict_bytes (a.decide_all ~fpga_area tss) in
+          let one_by_one = Array.map (fun ts -> verdict_bytes (a.decide ~fpga_area ts)) tss in
+          batch = one_by_one)
+        Core.Analyzer.defaults)
+
+(* --- Cache.Verdicts.decide_all == fresh decides, hits included --- *)
+
+(* the batch deliberately contains duplicates (same taskset twice) so
+   the miss-dedup path runs, and a second pass serves pure hits *)
+let prop_cache_batch_ident =
+  qtest ~count:100 "Verdicts.decide_all == fresh, duplicates and hits included"
+    QCheck2.Gen.(pair (pair taskset_gen tasksets_gen) area_gen)
+    (fun ((dup, tss), fpga_area) ->
+      let tss = Array.concat [ [| dup |]; tss; [| dup |] ] in
+      let cache = Cache.Verdicts.create ~capacity:64 () in
+      let analyzer = Core.Analyzer.gn2 in
+      let fresh = Array.map (fun ts -> verdict_bytes (analyzer.decide ~fpga_area ts)) tss in
+      let first =
+        Array.map verdict_bytes (Cache.Verdicts.decide_all cache ~analyzer ~fpga_area tss)
+      in
+      let second =
+        Array.map verdict_bytes (Cache.Verdicts.decide_all cache ~analyzer ~fpga_area tss)
+      in
+      first = fresh && second = fresh)
+
+let () =
+  Alcotest.run "columns"
+    [
+      ("round-trip", [ prop_columns_roundtrip ]);
+      ( "columnar == record bytes",
+        [ prop_dp_ident; prop_gn1_ident; prop_gn2_ident; prop_gn2_pruning; prop_approx_demand ] );
+      ("batch == single bytes", [ prop_decide_all_ident; prop_cache_batch_ident ]);
+    ]
